@@ -1,0 +1,20 @@
+"""Benchmark fixtures.
+
+Benchmarks double as the paper's experiment regeneration harness: each
+prints the rows/series the corresponding table or figure reports and
+asserts the paper's qualitative claims (orderings, crossovers,
+pessimism), while pytest-benchmark times the underlying computation.
+
+Sample counts scale with the ``REPRO_BENCH_SCALE`` environment variable
+(default 1); paper-fidelity runs (10,000 tasksets per point) need scale
+~25 and correspondingly more patience.
+"""
+
+import pytest
+
+from benchmarks.helpers import bench_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> int:
+    return bench_scale()

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark/reproduction harness."""
+
+import math
+import os
+
+from repro.experiments.report import as_text
+
+
+def bench_scale() -> int:
+    """Sample-count multiplier from the REPRO_BENCH_SCALE env var."""
+    return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def print_curves(curves, title: str = "") -> None:
+    """Print a regenerated figure/ablation as a fixed-width table."""
+    print()
+    if title:
+        print(f"=== {title} ===")
+    print(as_text(curves))
+
+
+def auc(series) -> float:
+    """Mean acceptance over the buckets (NaN buckets skipped) — a scalar
+    summary for 'test X outperforms test Y on this workload'."""
+    vals = [r for r in series.ratios if not math.isnan(r)]
+    return sum(vals) / len(vals) if vals else 0.0

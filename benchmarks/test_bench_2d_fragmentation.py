@@ -1,0 +1,55 @@
+"""Ablation (beyond the paper, §7): the 2D fragmentation effect.
+
+Measures the acceptance gap between the optimistic total-area fit rule
+and true bottom-left rectangle packing on random 2D workloads — the
+quantity the paper says makes 2D scheduling hard ("we cannot assume that
+a task can fit on the FPGA as long as there is enough free area").
+"""
+
+import numpy as np
+
+from repro.fpga2d import FitRule, Fpga2D, shelf_test, simulate_2d
+from repro.fpga2d.gen2d import GenerationProfile2D, generate_tasksets_2d
+
+
+def _workloads(count, rng):
+    """Constrained-deadline rectangle workloads heavy enough that geometry
+    matters (light loads schedule under any fit rule and show no gap)."""
+    return generate_tasksets_2d(GenerationProfile2D(), count, rng)
+
+
+def test_bench_2d_fragmentation(benchmark, scale):
+    fpga = Fpga2D(width=12, height=12)
+    workloads = _workloads(60 * scale, np.random.default_rng(19))
+
+    def run():
+        area = packed = 0
+        for ts in workloads:
+            area += simulate_2d(ts, fpga, 120, fit_rule=FitRule.AREA).schedulable
+            packed += simulate_2d(ts, fpga, 120, fit_rule=FitRule.PACKED).schedulable
+        return area, packed
+
+    area, packed = benchmark.pedantic(run, rounds=1, iterations=1)
+    n = len(workloads)
+    print(f"\nAREA rule: {area / n:.3f}  PACKED rule: {packed / n:.3f}  "
+          f"fragmentation cost: {(area - packed) / n:.3f}")
+    # AREA ignores geometry, so it accepts a superset of workloads.
+    assert area >= packed
+    # and the gap is the point of the experiment: it must exist
+    assert area > packed
+
+
+def test_bench_2d_shelf_bound_soundness(benchmark, scale):
+    """Time the shelf test over random workloads; every acceptance must
+    survive packed simulation (soundness under load)."""
+    fpga = Fpga2D(width=12, height=12)
+    workloads = _workloads(40 * scale, np.random.default_rng(23))
+
+    def run():
+        return [shelf_test(ts, fpga).accepted for ts in workloads]
+
+    verdicts = benchmark.pedantic(run, rounds=1, iterations=1)
+    accepted = [ts for ts, ok in zip(workloads, verdicts) if ok]
+    print(f"\nshelf test accepted {len(accepted)}/{len(workloads)}")
+    for ts in accepted:
+        assert simulate_2d(ts, fpga, 120, fit_rule=FitRule.PACKED).schedulable

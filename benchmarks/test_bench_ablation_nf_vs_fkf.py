@@ -1,0 +1,26 @@
+"""Ablation: EDF-NF vs EDF-FkF under simulation (§1 dominance claim).
+
+Danne et al. prove any FkF-schedulable set is NF-schedulable; this bench
+quantifies the gap (how many sets NF rescues from head-of-queue blocking)
+and times the paired simulation sweep.
+"""
+
+from benchmarks.helpers import auc, print_curves
+
+from repro.experiments.ablations import nf_vs_fkf_ablation
+
+
+def test_bench_nf_vs_fkf(benchmark, scale):
+    samples = 40 * scale
+    curves = benchmark.pedantic(
+        lambda: nf_vs_fkf_ablation(samples=samples, seed=37),
+        rounds=1,
+        iterations=1,
+    )
+    print_curves(curves, "simulated acceptance: EDF-NF vs EDF-FkF")
+
+    nf, fkf = curves["sim:EDF-NF"], curves["sim:EDF-FkF"]
+    # dominance per bucket (same tasksets simulated under both)
+    for a, b in zip(nf.ratios, fkf.ratios):
+        assert a >= b
+    print(f"NF advantage (mean over buckets): {auc(nf) - auc(fkf):.4f}")

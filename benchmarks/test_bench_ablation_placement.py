@@ -1,0 +1,37 @@
+"""Ablation: what the free-migration assumption is worth (§7).
+
+FREE (the paper's model) vs contiguous placement with relocation vs
+pinned placement.  The FREE-RELOCATABLE gap is fragmentation; the
+RELOCATABLE-PINNED gap is the value of migration.
+"""
+
+from benchmarks.helpers import auc, print_curves
+
+from repro.experiments.ablations import placement_ablation
+from repro.fpga.placement import PlacementPolicy
+
+
+def test_bench_placement_modes(benchmark, scale):
+    samples = 25 * scale
+    curves = benchmark.pedantic(
+        lambda: placement_ablation(
+            samples=samples,
+            seed=41,
+            policies=(PlacementPolicy.FIRST_FIT, PlacementPolicy.BEST_FIT),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_curves(curves, "free migration vs contiguous placement")
+
+    free = curves["sim:FREE"]
+    pinned = curves["sim:PINNED"]
+    # FREE dominates every placement-constrained mode per bucket.
+    for label in curves.labels:
+        if label == "sim:FREE":
+            continue
+        for a, b in zip(free.ratios, curves[label].ratios):
+            assert a >= b, label
+    # PINNED is the most restrictive mode overall.
+    for label in curves.labels:
+        assert auc(pinned) <= auc(curves[label]) + 1e-9, label

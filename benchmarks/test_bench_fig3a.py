@@ -1,0 +1,25 @@
+"""Figure 3(a): acceptance ratio vs US, 4 unconstrained tasks.
+
+Prints the regenerated series (DP/GN1/GN2/simulation), asserts the
+paper's shape claims via :mod:`repro.experiments.claims`, and times the
+vectorized analytical sweep.
+"""
+
+from benchmarks.helpers import print_curves
+
+from repro.experiments.claims import check_figure
+from repro.experiments.figures import FIGURES, run_figure
+
+
+def test_bench_fig3a(benchmark, scale):
+    samples = 400 * scale
+    benchmark.pedantic(
+        lambda: run_figure("fig3a", samples=samples, sim_samples=0, seed=2007),
+        rounds=1,
+        iterations=1,
+    )
+    full = run_figure(
+        "fig3a", samples=samples, sim_samples=max(40, 4 * scale), seed=2007
+    )
+    print_curves(full, FIGURES["fig3a"].title)
+    assert check_figure("fig3a", full) == []

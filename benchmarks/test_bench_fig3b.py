@@ -1,0 +1,30 @@
+"""Figure 3(b): acceptance ratio vs US, 10 unconstrained tasks.
+
+Shape claims (checked via :mod:`repro.experiments.claims`): all tests
+pessimistic vs simulation; DP best for many tasks.
+"""
+
+from benchmarks.helpers import print_curves
+
+from repro.experiments.claims import check_figure
+from repro.experiments.figures import FIGURES, run_figure
+
+
+def test_bench_fig3b(benchmark, scale):
+    samples = 400 * scale
+    benchmark.pedantic(
+        lambda: run_figure("fig3b", samples=samples, sim_samples=0, seed=2007),
+        rounds=1,
+        iterations=1,
+    )
+    full = run_figure(
+        "fig3b", samples=samples, sim_samples=max(40, 4 * scale), seed=2007
+    )
+    print_curves(full, FIGURES["fig3b"].title)
+    assert check_figure("fig3b", full) == []
+
+    # additionally: the 10-task curves die earlier than fig3a's — by US=50
+    # nothing analytical survives.
+    idx50 = full["DP"].utilizations.index(50.0)
+    for label in ("DP", "GN1", "GN2"):
+        assert full[label].ratios[idx50] < 0.02

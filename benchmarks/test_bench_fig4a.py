@@ -1,0 +1,32 @@
+"""Figure 4(a): 10 spatially heavy, temporally light tasks.
+
+Paper claim (checked via :mod:`repro.experiments.claims`): "for
+spatially-heavy tasksets all three tests exhibit poor performance" —
+wide tasks crush the guaranteed-busy-area credit.
+"""
+
+from benchmarks.helpers import print_curves
+
+from repro.experiments.claims import check_figure
+from repro.experiments.figures import FIGURES, run_figure
+
+
+def test_bench_fig4a(benchmark, scale):
+    samples = 400 * scale
+    benchmark.pedantic(
+        lambda: run_figure("fig4a", samples=samples, sim_samples=0, seed=2007),
+        rounds=1,
+        iterations=1,
+    )
+    full = run_figure(
+        "fig4a", samples=samples, sim_samples=max(40, 4 * scale), seed=2007
+    )
+    print_curves(full, FIGURES["fig4a"].title)
+    assert check_figure("fig4a", full) == []
+
+    # the workload itself is far from hopeless at mid utilization
+    assert full["sim:EDF-NF"].at(40.0) > 0.9
+    # and every test has (essentially) flatlined there
+    idx = full["DP"].utilizations.index(40.0)
+    for label in ("DP", "GN1", "GN2"):
+        assert all(r <= 0.005 for r in full[label].ratios[idx:]), label

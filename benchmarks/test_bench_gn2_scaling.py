@@ -1,0 +1,38 @@
+"""Ablation: GN2's O(N^3) complexity claim (§5).
+
+"The test in Theorem 3 has running time complexity of O(N^3), since the
+only values of λ that need be considered are the minimum points and the
+discontinuities of β."  This bench times the scalar GN2 across taskset
+sizes; the grouped output lets the cubic growth be read off directly.
+"""
+
+import pytest
+
+from repro.core.gn2 import gn2_test
+from repro.fpga.device import Fpga
+from repro.gen.profiles import GenerationProfile
+from repro.gen.random_tasksets import generate_taskset
+from repro.util.rngutil import rng_from_seed
+
+
+def _taskset(n):
+    profile = GenerationProfile(
+        n_tasks=n, area_min=1, area_max=40,
+        period_min=5, period_max=20, util_min=0.05, util_max=0.5,
+        name=f"gn2-scale-{n}",
+    )
+    ts = generate_taskset(profile, rng_from_seed(100 + n))
+    # Rescale to a feasible utilization so every size exercises the full
+    # λ search instead of short-circuiting on the necessary conditions.
+    return ts.scaled_to_system_utilization(50.0)
+
+
+@pytest.mark.parametrize("n", [5, 10, 20, 40])
+def test_bench_gn2_scaling(benchmark, n):
+    ts = _taskset(n)
+    fpga = Fpga(width=100)
+    benchmark.group = "gn2-scaling"
+    result = benchmark(gn2_test, ts, fpga)
+    assert result.test_name == "GN2"
+    # Work bound sanity: λ candidates are O(N), tasks O(N), inner sum O(N).
+    # (Timing ratios across the group exhibit the cubic trend.)

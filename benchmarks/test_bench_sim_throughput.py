@@ -1,0 +1,65 @@
+"""Simulator throughput: events/second on a representative workload.
+
+The discrete-event simulator is the cost driver of every ``sim:`` curve;
+this bench pins its performance on the fig3b workload shape so
+regressions show up.
+"""
+
+from repro.fpga.device import Fpga
+from repro.gen.profiles import paper_unconstrained
+from repro.gen.sweep import generate_at_system_utilization
+from repro.sched.edf_fkf import EdfFkf
+from repro.sched.edf_nf import EdfNf
+from repro.sim.simulator import MigrationMode, default_horizon, simulate
+from repro.util.rngutil import rng_from_seed
+
+FPGA = Fpga(width=100)
+
+
+def _workload():
+    return generate_at_system_utilization(
+        paper_unconstrained(10), 60.0, rng_from_seed(77)
+    )
+
+
+def test_bench_simulate_nf(benchmark):
+    ts = _workload()
+    horizon = default_horizon(ts, factor=20)
+    benchmark.group = "simulate"
+    res = benchmark(
+        lambda: simulate(ts, FPGA, EdfNf(), horizon, stop_at_first_miss=False)
+    )
+    print(f"\ndecision points: {res.metrics.decision_points}, "
+          f"jobs: {res.metrics.jobs_released}")
+
+
+def test_bench_simulate_fkf(benchmark):
+    ts = _workload()
+    horizon = default_horizon(ts, factor=20)
+    benchmark.group = "simulate"
+    benchmark(lambda: simulate(ts, FPGA, EdfFkf(), horizon, stop_at_first_miss=False))
+
+
+def test_bench_simulate_with_placement(benchmark):
+    ts = _workload()
+    horizon = default_horizon(ts, factor=20)
+    benchmark.group = "simulate"
+    benchmark(
+        lambda: simulate(
+            ts, FPGA, EdfNf(), horizon,
+            mode=MigrationMode.RELOCATABLE, stop_at_first_miss=False,
+        )
+    )
+
+
+def test_bench_simulate_with_trace(benchmark):
+    ts = _workload()
+    horizon = default_horizon(ts, factor=20)
+    benchmark.group = "simulate"
+    res = benchmark(
+        lambda: simulate(
+            ts, FPGA, EdfNf(), horizon,
+            record_trace=True, stop_at_first_miss=False,
+        )
+    )
+    assert res.trace is not None

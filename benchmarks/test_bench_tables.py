@@ -1,0 +1,43 @@
+"""Tables 1-3 (paper §6): regenerate the accept/reject matrix and time
+the three scalar bound tests on the example tasksets."""
+
+from repro.experiments.tables import (
+    PAPER_VERDICTS,
+    TABLE_TASKSETS,
+    render_tables,
+    run_tables,
+)
+from repro.fpga.device import Fpga
+from repro.core.dp import dp_test
+from repro.core.gn1 import gn1_test
+from repro.core.gn2 import gn2_test
+
+
+def test_bench_table_matrix(benchmark):
+    """Time the full 3x3 evaluation; assert it reproduces the paper."""
+    outcomes = benchmark(run_tables)
+    print()
+    print(render_tables(outcomes))
+    for name, outcome in outcomes.items():
+        assert outcome.verdicts == PAPER_VERDICTS[name], name
+
+
+def test_bench_dp_on_table1(benchmark):
+    fpga = Fpga(width=10)
+    ts = TABLE_TASKSETS["table1"]
+    result = benchmark(dp_test, ts, fpga)
+    assert result.accepted
+
+
+def test_bench_gn1_on_table2(benchmark):
+    fpga = Fpga(width=10)
+    ts = TABLE_TASKSETS["table2"]
+    result = benchmark(gn1_test, ts, fpga)
+    assert result.accepted
+
+
+def test_bench_gn2_on_table3(benchmark):
+    fpga = Fpga(width=10)
+    ts = TABLE_TASKSETS["table3"]
+    result = benchmark(gn2_test, ts, fpga)
+    assert result.accepted

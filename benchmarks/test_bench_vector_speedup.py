@@ -1,0 +1,65 @@
+"""Ablation: scalar reference vs numpy-vectorized batch evaluation.
+
+The vectorized path is what makes the paper's 10,000-taskset sweeps
+practical in Python; this bench verifies identical verdicts and reports
+the speedup.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dp import dp_test
+from repro.core.gn1 import gn1_test
+from repro.core.gn2 import gn2_test
+from repro.fpga.device import Fpga
+from repro.gen.profiles import paper_unconstrained
+from repro.util.rngutil import rng_from_seed
+from repro.vector.batch import generate_batch
+from repro.vector.dp_vec import dp_accepts
+from repro.vector.gn1_vec import gn1_accepts
+from repro.vector.gn2_vec import gn2_accepts
+
+BATCH = 300
+FPGA = Fpga(width=100)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    raw = generate_batch(paper_unconstrained(10), BATCH, rng_from_seed(55))
+    targets = rng_from_seed(56).uniform(5, 95, size=BATCH)
+    return raw.scaled_to_system_utilization(targets)
+
+
+@pytest.fixture(scope="module")
+def tasksets(batch):
+    return batch.to_tasksets()
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["dp", "gn1", "gn2"],
+)
+def test_bench_scalar(benchmark, name, batch, tasksets):
+    scalar = {"dp": dp_test, "gn1": gn1_test, "gn2": gn2_test}[name]
+    benchmark.group = f"{name}-{BATCH}-tasksets"
+
+    def run_scalar():
+        return [scalar(ts, FPGA).accepted for ts in tasksets]
+
+    verdicts = benchmark(run_scalar)
+    assert len(verdicts) == BATCH
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["dp", "gn1", "gn2"],
+)
+def test_bench_vectorized(benchmark, name, batch, tasksets):
+    vec = {"dp": dp_accepts, "gn1": gn1_accepts, "gn2": gn2_accepts}[name]
+    scalar = {"dp": dp_test, "gn1": gn1_test, "gn2": gn2_test}[name]
+    benchmark.group = f"{name}-{BATCH}-tasksets"
+
+    mask = benchmark(vec, batch, 100)
+    # identical verdicts to the scalar reference
+    expected = np.array([scalar(ts, FPGA).accepted for ts in tasksets])
+    assert (mask == expected).all()

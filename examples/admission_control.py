@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Online admission control for a reconfigurable accelerator card.
+
+Scenario (the use case motivating the paper's bounds): a server offloads
+streaming kernels — video scalers, packet filters, crypto engines — onto
+a PRTR FPGA at runtime.  Each arriving service asks for a periodic
+hardware task ``(C, D, T, A)``.  The admission controller must answer
+*now*, without simulating: it accepts a task iff the already-admitted set
+plus the newcomer still passes a schedulability bound.
+
+This demo replays a randomized arrival/departure workload and compares
+admission throughput of the three bounds and of the paper-recommended
+portfolio (accept if ANY bound accepts) — showing why portfolios matter
+in practice.
+
+Run: ``python examples/admission_control.py``
+"""
+
+from typing import Callable, List
+
+from repro import Fpga, Task, TaskSet
+from repro.core import SchedulerKind, dp_test, gn1_test, gn2_test, paper_portfolio
+from repro.gen.profiles import GenerationProfile
+from repro.gen.random_tasksets import generate_taskset
+from repro.util.rngutil import rng_from_seed
+
+
+def replay(
+    arrivals: List[Task],
+    fpga: Fpga,
+    admit: Callable[[TaskSet, Fpga], object],
+    departure_every: int = 4,
+) -> dict:
+    """Feed arrivals through one admission policy; every ``departure_every``
+    arrivals the oldest admitted task departs (service teardown)."""
+    admitted: List[Task] = []
+    accepted = rejected = 0
+    peak_us = 0.0
+    for idx, task in enumerate(arrivals):
+        candidate = TaskSet(admitted + [task])
+        if admit(candidate, fpga).accepted:
+            admitted.append(task)
+            accepted += 1
+            peak_us = max(peak_us, float(candidate.system_utilization))
+        else:
+            rejected += 1
+        if departure_every and (idx + 1) % departure_every == 0 and admitted:
+            admitted.pop(0)
+    return {
+        "accepted": accepted,
+        "rejected": rejected,
+        "resident": len(admitted),
+        "peak_US": peak_us,
+    }
+
+
+def main() -> None:
+    fpga = Fpga(width=100)
+    profile = GenerationProfile(
+        n_tasks=1, area_min=5, area_max=45,
+        period_min=5, period_max=20, util_min=0.05, util_max=0.5,
+        name="service-requests",
+    )
+    rng = rng_from_seed(2024)
+    arrivals = [generate_taskset(profile, rng, name_prefix=f"svc{i}_")[0]
+                for i in range(120)]
+
+    policies = [
+        ("DP", dp_test),
+        ("GN1", gn1_test),
+        ("GN2", gn2_test),
+        ("portfolio", paper_portfolio(SchedulerKind.EDF_NF)),
+    ]
+
+    print(f"{len(arrivals)} service requests against a "
+          f"{fpga.width}-column device\n")
+    print(f"{'policy':<10} {'accepted':>9} {'rejected':>9} "
+          f"{'resident':>9} {'peak US':>9}")
+    for name, policy in policies:
+        stats = replay(arrivals, fpga, policy)
+        print(f"{name:<10} {stats['accepted']:>9} {stats['rejected']:>9} "
+              f"{stats['resident']:>9} {stats['peak_US']:>9.1f}")
+
+    print(
+        "\nThe portfolio admits at least as many services as any single "
+        "bound\n(paper §6: 'different schedulability bounds should be "
+        "applied together')."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Partitioned vs global scheduling on a PRTR FPGA.
+
+Danne & Platzner (the paper's reference [10]) restrict each task to a
+fixed device partition — simple, analyzable with plain uniprocessor EDF
+theory, but statically fragmenting the fabric.  The paper analyzes
+*global* scheduling instead.  This example compares:
+
+* partitioned first-fit-decreasing + exact per-partition QPA,
+* the global bounds (DP / GN1 / GN2 portfolio),
+* global EDF-NF simulation (coarse upper bound),
+
+over workloads of increasing spatial pressure, showing the regime where
+global scheduling's flexibility wins.
+
+Run: ``python examples/partitioned_vs_global.py``
+"""
+
+from repro import Fpga
+from repro.core import SchedulerKind, paper_portfolio
+from repro.experiments.acceptance import feasible_batch_at
+from repro.gen.profiles import GenerationProfile
+from repro.sched import EdfNf
+from repro.sched.partitioned import partitioned_test
+from repro.sim import default_horizon, simulate
+from repro.util.rngutil import rng_from_seed
+
+
+def main() -> None:
+    fpga = Fpga(width=100)
+    rng = rng_from_seed(5)
+    portfolio = paper_portfolio(SchedulerKind.EDF_NF)
+
+    print(f"{'US':>4} {'partitioned':>12} {'global-bounds':>14} {'sim EDF-NF':>11}")
+    for us_target in (20.0, 35.0, 50.0, 65.0, 80.0):
+        profile = GenerationProfile(
+            n_tasks=8, area_min=10, area_max=50,
+            period_min=5, period_max=20, util_min=0.1, util_max=0.9,
+            name="pvg",
+        )
+        batch = feasible_batch_at(profile, us_target, 50, rng)
+        tasksets = batch.to_tasksets()
+        part = sum(partitioned_test(ts, fpga).accepted for ts in tasksets)
+        glob = sum(portfolio(ts, fpga).accepted for ts in tasksets)
+        sim = sum(
+            simulate(ts, fpga, EdfNf(), default_horizon(ts, factor=10)).schedulable
+            for ts in tasksets
+        )
+        n = len(tasksets)
+        print(f"{us_target:>4.0f} {part/n:>12.2%} {glob/n:>14.2%} {sim/n:>11.2%}")
+
+    print(
+        "\npartitioned = FFD packing + exact QPA per partition;"
+        "\nglobal-bounds = DP ∪ GN1 ∪ GN2 (sufficient, pessimistic);"
+        "\nsim = synchronous-release global EDF-NF (coarse upper bound)."
+        "\nGlobal simulation dominates everywhere; the analytical global"
+        "\nbounds trade some of that headroom for a hard guarantee."
+    )
+
+
+if __name__ == "__main__":
+    main()

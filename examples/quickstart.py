@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: analyze and simulate one hardware taskset.
+
+Walks through the paper's whole pipeline on Table 3's taskset:
+
+1. model a taskset of hardware tasks (C, D, T, A);
+2. run the three schedulability bound tests (DP, GN1, GN2);
+3. combine them as the paper recommends (portfolio);
+4. simulate EDF-NF and EDF-FkF as a sanity check;
+5. inspect the work-conserving occupancy trace.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from fractions import Fraction as F
+
+from repro import Fpga, Task, TaskSet
+from repro.core import SchedulerKind, dp_test, gn1_test, gn2_test, paper_portfolio
+from repro.sched import EdfFkf, EdfNf
+from repro.sim import default_horizon, simulate
+
+
+def main() -> None:
+    # -- 1. The taskset of the paper's Table 3 (exact rationals) -------------
+    taskset = TaskSet(
+        [
+            Task(wcet=F("2.10"), deadline=5, period=5, area=7, name="video"),
+            Task(wcet=F("2.00"), deadline=7, period=7, area=7, name="crypto"),
+        ]
+    )
+    fpga = Fpga(width=10)
+    print(f"taskset: {taskset}")
+    print(f"device:  {fpga.width} columns")
+    print(f"UT(Γ) = {float(taskset.time_utilization):.3f}, "
+          f"US(Γ) = {float(taskset.system_utilization):.3f}\n")
+
+    # -- 2. The three bound tests -------------------------------------------------
+    for test in (dp_test, gn1_test, gn2_test):
+        result = test(taskset, fpga)
+        print(f"{test.name:4} -> {'ACCEPT' if result.accepted else 'reject'}")
+        for verdict in result.per_task:
+            mark = "ok " if verdict.passed else "FAIL"
+            detail = verdict.detail
+            if verdict.lhs is not None:
+                detail = f"lhs={float(verdict.lhs):.3f} rhs={float(verdict.rhs):.3f}"
+            print(f"       [{mark}] {verdict.task}: {detail}")
+    print()
+
+    # -- 3. The paper's advice: apply all bounds together -----------------------
+    portfolio = paper_portfolio(SchedulerKind.EDF_NF)
+    combined = portfolio(taskset, fpga)
+    print(f"portfolio -> {'ACCEPT' if combined.accepted else 'reject'} "
+          f"({combined.reason or combined.test_name})\n")
+
+    # -- 4. Simulation cross-check ------------------------------------------
+    horizon = default_horizon(taskset, factor=20)
+    for scheduler in (EdfNf(), EdfFkf()):
+        sim = simulate(taskset, fpga, scheduler, horizon, record_trace=True)
+        print(
+            f"simulate {scheduler.name:8} horizon={float(horizon):6.1f}: "
+            f"{'no misses' if sim.schedulable else 'MISSED ' + str(sim.misses[0])}, "
+            f"avg occupancy {sim.trace.average_occupancy():.2%}, "
+            f"preemptions {sim.metrics.preemptions}"
+        )
+
+    # -- 5. Work-conserving invariants (paper §3, Fig. 1) ---------------------
+    sim = simulate(taskset, fpga, EdfNf(), horizon, record_trace=True)
+    violations = sim.trace.check_nf_alpha()
+    print(f"\nLemma 2 occupancy check over {len(sim.trace.segments)} segments: "
+          f"{len(violations)} violations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Regenerate results/ — the measured data quoted in EXPERIMENTS.md.
+
+Usage:
+    python scripts/regenerate_results.py            # default scale
+    python scripts/regenerate_results.py --samples 10000 --workers 8
+
+At --samples 10000 this matches the paper's group sizes (be patient).
+Outputs:
+    results/experiments_data.txt   all series as fixed-width tables
+    results/<figure>.csv           one CSV per figure
+    results/<figure>.svg           one SVG image per figure
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments.ablations import (
+    alpha_ablation,
+    nf_vs_fkf_ablation,
+    offset_ablation,
+    placement_ablation,
+)
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.report import as_csv, as_text
+from repro.experiments.svgplot import save_svg
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=2000,
+                        help="tasksets per bucket for the figures")
+    parser.add_argument("--sim-samples", type=int, default=150)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument("--out", type=Path, default=Path("results"))
+    args = parser.parse_args()
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    blocks = []
+
+    for fid in sorted(FIGURES):
+        print(f"running {fid} ...", flush=True)
+        curves = run_figure(
+            fid,
+            samples=args.samples,
+            sim_samples=args.sim_samples,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        blocks.append(as_text(curves))
+        (args.out / f"{fid}.csv").write_text(as_csv(curves))
+        save_svg(curves, args.out / f"{fid}.svg")
+
+    print("running ablations ...", flush=True)
+    blocks.append(as_text(alpha_ablation(samples=2 * args.samples, seed=31)))
+    blocks.append(as_text(nf_vs_fkf_ablation(samples=80, seed=37,
+                                             workers=args.workers)))
+    blocks.append(as_text(placement_ablation(samples=50, seed=41)))
+    blocks.append(as_text(offset_ablation(samples=50, seed=43)))
+
+    data = "\n\n".join(blocks)
+    (args.out / "experiments_data.txt").write_text(data)
+    print(f"wrote {args.out}/experiments_data.txt and per-figure CSV/SVG")
+
+
+if __name__ == "__main__":
+    main()

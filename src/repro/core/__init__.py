@@ -1,0 +1,78 @@
+"""The paper's schedulability tests for EDF on 1D PRTR FPGAs.
+
+* :func:`dp_test` — Theorem 1 (DP): Danne & Platzner's bound corrected for
+  integer task areas; valid for EDF-FkF and EDF-NF.
+* :func:`gn1_test` — Theorem 2 (GN1): BCL-style interference analysis with
+  the interval-α-work-conserving bound; valid for EDF-NF only.
+* :func:`gn2_test` — Theorem 3 (GN2): Baker-style busy-interval (λ) analysis
+  with the global-α-work-conserving bound; valid for EDF-FkF and EDF-NF.
+* :func:`composite_test` / :func:`paper_portfolio` — "apply the bounds
+  together; reject only if all fail" (§6).
+
+All tests are *sufficient* conditions: acceptance guarantees
+schedulability; rejection is inconclusive.
+"""
+
+from repro.core.interfaces import (
+    SchedulerKind,
+    PerTaskVerdict,
+    TestResult,
+    SchedulabilityTest,
+    necessary_conditions,
+)
+from repro.core.alpha import (
+    global_alpha_fkf,
+    global_alpha_fkf_real_areas,
+    interval_alpha_nf,
+)
+from repro.core.workload import (
+    max_complete_jobs,
+    bcl_workload_bound,
+    gn1_beta,
+    gn2_beta,
+    gn2_lambda_candidates,
+)
+from repro.core.dp import AreaModel, dp_test, DpTest
+from repro.core.gn1 import Gn1Variant, gn1_test, Gn1Test
+from repro.core.gn2 import gn2_test, Gn2Test
+from repro.core.composite import CompositeTest, composite_test, paper_portfolio
+from repro.core.explain import explain, explain_dp, explain_gn1, explain_gn2
+from repro.core.sensitivity import (
+    acceptance_margin,
+    critical_scaling,
+    minimum_width,
+)
+
+__all__ = [
+    "SchedulerKind",
+    "PerTaskVerdict",
+    "TestResult",
+    "SchedulabilityTest",
+    "necessary_conditions",
+    "global_alpha_fkf",
+    "global_alpha_fkf_real_areas",
+    "interval_alpha_nf",
+    "max_complete_jobs",
+    "bcl_workload_bound",
+    "gn1_beta",
+    "gn2_beta",
+    "gn2_lambda_candidates",
+    "AreaModel",
+    "dp_test",
+    "DpTest",
+    "Gn1Variant",
+    "gn1_test",
+    "Gn1Test",
+    "gn2_test",
+    "Gn2Test",
+    "CompositeTest",
+    "composite_test",
+    "paper_portfolio",
+    "explain",
+    "explain_dp",
+    "explain_gn1",
+    "explain_gn2",
+    "acceptance_margin",
+    "critical_scaling",
+    "minimum_width",
+]

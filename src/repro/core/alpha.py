@@ -1,0 +1,71 @@
+"""Work-conserving occupancy factors for FPGA EDF (paper §3).
+
+Multiprocessor global EDF is work-conserving: no processor idles while
+work is queued.  On an FPGA, free area can idle because no queued job fits
+in it, so the paper quantifies *how much* area is guaranteed busy:
+
+* **Lemma 1** — EDF-FkF is *global-α-work-conserving*: whenever the ready
+  queue is non-empty, at least ``A(H) - (Amax - 1)`` columns are busy,
+  i.e. ``α = 1 - (Amax - 1)/A(H)``.  (If ``Amax - 1`` columns are free the
+  widest job may still not fit; if ``Amax`` were free, it would.)
+* **Lemma 2** — EDF-NF is *interval-α-work-conserving*: while a job of
+  ``tau_k`` waits in the queue, at least ``A(H) - (A_k - 1)`` columns are
+  busy — NF skips blocked wide jobs and fills the gap with narrower ones,
+  so only ``tau_k``'s *own* width matters.
+
+Danne & Platzner's original analysis treats areas as reals and uses
+``α = 1 - Amax/A(H)``; the paper argues areas are integral numbers of
+columns, gaining one column of guaranteed occupancy.  Both are provided —
+the difference is the `ablation-alpha` experiment.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+
+from repro.util.mathutil import exact_div
+
+
+def _check(area_max: Real, total_area: Real) -> None:
+    if total_area <= 0:
+        raise ValueError(f"total area must be > 0, got {total_area}")
+    if area_max < 1:
+        raise ValueError(f"max task area must be >= 1, got {area_max}")
+    if area_max > total_area:
+        raise ValueError(
+            f"max task area {area_max} exceeds device area {total_area}: infeasible"
+        )
+
+
+def global_alpha_fkf(area_max: Real, total_area: Real) -> Real:
+    """Lemma 1: ``α = 1 - (Amax - 1)/A(H)`` for EDF-FkF, integer areas."""
+    _check(area_max, total_area)
+    return 1 - exact_div(area_max - 1, total_area)
+
+
+def global_alpha_fkf_real_areas(area_max: Real, total_area: Real) -> Real:
+    """Danne & Platzner's original ``α = 1 - Amax/A(H)`` (real-valued areas)."""
+    _check(area_max, total_area)
+    return 1 - exact_div(area_max, total_area)
+
+
+def interval_alpha_nf(area_k: Real, total_area: Real) -> Real:
+    """Lemma 2: ``α = 1 - (A_k - 1)/A(H)`` for EDF-NF while ``J_k`` waits."""
+    _check(area_k, total_area)
+    return 1 - exact_div(area_k - 1, total_area)
+
+
+def guaranteed_busy_area_fkf(area_max: Real, total_area: Real) -> Real:
+    """Columns guaranteed busy under EDF-FkF overload: ``A(H) - Amax + 1``.
+
+    This is the paper's ``Abnd`` used throughout Theorem 3.
+    """
+    _check(area_max, total_area)
+    return total_area - area_max + 1
+
+
+def guaranteed_busy_area_nf(area_k: Real, total_area: Real) -> Real:
+    """Columns guaranteed busy while a job of ``tau_k`` waits under EDF-NF:
+    ``A(H) - A_k + 1`` (used by Lemma 3 / Theorem 2)."""
+    _check(area_k, total_area)
+    return total_area - area_k + 1

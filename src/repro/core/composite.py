@@ -1,0 +1,93 @@
+"""Composite "portfolio" testing (paper §6 conclusion).
+
+"No single utilization bound test consistently out-performs others ... In
+practice, different schedulability bounds should be applied together, i.e.,
+determine that a taskset is unschedulable only if all tests fail."
+
+:func:`composite_test` builds an any-of combination; :func:`paper_portfolio`
+is the paper's trio.  The composite's guarantee only covers a scheduler if
+the *accepting* member covers it — e.g. a GN1-only acceptance certifies
+EDF-NF but not EDF-FkF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.dp import dp_test
+from repro.core.gn1 import gn1_test
+from repro.core.gn2 import gn2_test
+from repro.core.interfaces import (
+    SchedulabilityTest,
+    SchedulerKind,
+    TestResult,
+)
+from repro.fpga.device import Fpga
+from repro.model.task import TaskSet
+
+
+@dataclass(frozen=True)
+class CompositeTest:
+    """Accepts when any member test accepts (for a covered scheduler)."""
+
+    members: Tuple[SchedulabilityTest, ...]
+    #: Restrict acceptance to members covering this scheduler; ``None``
+    #: accepts on any member and unions the resulting guarantees.
+    scheduler: SchedulerKind | None = None
+    name: str = "composite"
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("composite test needs at least one member")
+
+    def __call__(self, taskset: TaskSet, fpga: Fpga) -> TestResult:
+        results = []
+        for member in self.members:
+            if self.scheduler is not None and self.scheduler not in member.schedulers:
+                continue
+            res = member(taskset, fpga)
+            results.append(res)
+            if res.accepted:
+                return TestResult(
+                    test_name=f"{self.name}({res.test_name})",
+                    accepted=True,
+                    schedulers=(
+                        frozenset({self.scheduler})
+                        if self.scheduler is not None
+                        else res.schedulers
+                    ),
+                    per_task=res.per_task,
+                    reason=f"accepted by member {res.test_name}",
+                )
+        rejected_by = ", ".join(r.test_name for r in results) or "(no applicable member)"
+        return TestResult(
+            test_name=self.name,
+            accepted=False,
+            schedulers=(
+                frozenset({self.scheduler})
+                if self.scheduler is not None
+                else frozenset(SchedulerKind)
+            ),
+            reason=f"rejected by all members: {rejected_by}",
+        )
+
+
+def composite_test(
+    members: Sequence[SchedulabilityTest],
+    scheduler: SchedulerKind | None = None,
+    name: str = "composite",
+) -> CompositeTest:
+    """Build an any-of composite over ``members``."""
+    return CompositeTest(tuple(members), scheduler, name)
+
+
+def paper_portfolio(scheduler: SchedulerKind = SchedulerKind.EDF_NF) -> CompositeTest:
+    """The paper's §6 recommendation: DP ∪ GN1 ∪ GN2.
+
+    For EDF-NF all three apply; for EDF-FkF, GN1 is automatically skipped
+    (it only certifies EDF-NF).
+    """
+    return CompositeTest(
+        (dp_test, gn1_test, gn2_test), scheduler, name=f"portfolio[{scheduler.value}]"
+    )

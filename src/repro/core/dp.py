@@ -1,0 +1,90 @@
+"""DP — Theorem 1: the Danne & Platzner bound with integer-area correction.
+
+Any periodic taskset Γ is feasibly scheduled by EDF-FkF (hence also by
+EDF-NF) on a device ``H`` with ``A(H) >= Amax`` if for every task ``tau_k``::
+
+    US(Γ) <= (A(H) - Amax + 1) * (1 - UT(tau_k)) + US(tau_k)
+
+Interpretation: while a job of ``tau_k`` waits, EDF-FkF keeps at least
+``A(H) - Amax + 1`` columns busy (Lemma 1), so the aggregate system
+utilization the *other* tasks can sustain is bounded; the ``US(tau_k)``
+term credits the task's own demand.
+
+Danne & Platzner's original LCTES'06 bound assumed real-valued areas,
+yielding the weaker ``(A(H) - Amax)`` coefficient; select it with
+``AreaModel.REAL`` (ablation `ablation-alpha`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.interfaces import (
+    PerTaskVerdict,
+    SchedulerKind,
+    TestResult,
+    necessary_conditions,
+)
+from repro.fpga.device import Fpga
+from repro.model.task import TaskSet
+
+
+class AreaModel(enum.Enum):
+    """How the guaranteed-busy bound treats task areas (paper §3)."""
+
+    #: Integer column counts: ``Abnd = A(H) - Amax + 1`` (the paper's Lemma 1).
+    INTEGER = "integer"
+    #: Real-valued areas: ``Abnd = A(H) - Amax`` (Danne & Platzner original).
+    REAL = "real"
+
+
+@dataclass(frozen=True)
+class DpTest:
+    """Configurable DP test instance (the default is the paper's Theorem 1)."""
+
+    area_model: AreaModel = AreaModel.INTEGER
+
+    schedulers = frozenset({SchedulerKind.EDF_FKF, SchedulerKind.EDF_NF})
+
+    @property
+    def name(self) -> str:
+        return "DP" if self.area_model is AreaModel.INTEGER else "DP-real"
+
+    def __call__(self, taskset: TaskSet, fpga: Fpga) -> TestResult:
+        nec = necessary_conditions(taskset, fpga)
+        if not nec.accepted:
+            return TestResult(
+                self.name, False, self.schedulers, nec.per_task, nec.reason
+            )
+        area = fpga.capacity
+        amax = taskset.max_area
+        if self.area_model is AreaModel.INTEGER:
+            abnd = area - amax + 1
+        else:
+            abnd = area - amax
+        us_total = taskset.system_utilization
+        verdicts = []
+        accepted = True
+        for t in taskset:
+            rhs = abnd * (1 - t.time_utilization) + t.system_utilization
+            ok = us_total <= rhs
+            accepted &= ok
+            verdicts.append(
+                PerTaskVerdict(
+                    t.name,
+                    ok,
+                    us_total,
+                    rhs,
+                    f"US(Γ) <= (A(H)-Amax{'+1' if self.area_model is AreaModel.INTEGER else ''})"
+                    f"(1-UT(τk)) + US(τk)",
+                )
+            )
+        return TestResult(self.name, accepted, self.schedulers, tuple(verdicts))
+
+
+#: The paper's Theorem 1 (integer areas).
+dp_test = DpTest()
+
+#: Danne & Platzner's original real-area bound (baseline / ablation).
+dp_test_real_areas = DpTest(AreaModel.REAL)

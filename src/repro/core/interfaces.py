@@ -1,0 +1,121 @@
+"""Common result types and the schedulability-test protocol.
+
+Every analysis in :mod:`repro.core` (and the baselines in :mod:`repro.mp`)
+returns a :class:`TestResult`: the overall verdict plus a per-task record
+of the bound comparison that decided it, so experiments and debugging can
+see *why* a taskset was rejected, mirroring the worked examples in the
+paper's §6.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from numbers import Real
+from typing import Mapping, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.fpga.device import Fpga
+from repro.model.task import TaskSet
+
+
+class SchedulerKind(enum.Enum):
+    """Which global EDF variant a test's guarantee applies to (paper §1).
+
+    EDF-NF dominates EDF-FkF (a set schedulable by FkF is schedulable by
+    NF), so a guarantee for EDF-FkF transfers to EDF-NF but not vice
+    versa: GN1 certifies only EDF-NF, while DP and GN2 certify both.
+    """
+
+    EDF_FKF = "EDF-FkF"
+    EDF_NF = "EDF-NF"
+
+
+@dataclass(frozen=True)
+class PerTaskVerdict:
+    """Outcome of one task's bound check inside a test.
+
+    ``lhs``/``rhs`` are the two sides of the decisive comparison (their
+    meaning is test-specific and described by ``detail``).
+    """
+
+    task: str
+    passed: bool
+    lhs: Real | None = None
+    rhs: Real | None = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Overall verdict of a schedulability test on one taskset."""
+
+    test_name: str
+    accepted: bool
+    #: Scheduler variants the acceptance guarantee covers.
+    schedulers: frozenset[SchedulerKind] = frozenset(SchedulerKind)
+    per_task: Tuple[PerTaskVerdict, ...] = ()
+    #: Free-form reason, set when rejection happened before per-task checks
+    #: (e.g. a necessary condition failed).
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+    @property
+    def failing_tasks(self) -> Tuple[str, ...]:
+        return tuple(v.task for v in self.per_task if not v.passed)
+
+    def covers(self, scheduler: SchedulerKind) -> bool:
+        """True when this result's guarantee applies to ``scheduler``."""
+        return scheduler in self.schedulers
+
+
+@runtime_checkable
+class SchedulabilityTest(Protocol):
+    """A callable sufficient schedulability test for FPGA EDF scheduling."""
+
+    name: str
+    schedulers: frozenset[SchedulerKind]
+
+    def __call__(self, taskset: TaskSet, fpga: Fpga) -> TestResult: ...
+
+
+def necessary_conditions(taskset: TaskSet, fpga: Fpga) -> TestResult:
+    """Cheap *necessary* feasibility conditions (not from the paper's
+    theorems, but implied by the model in §2):
+
+    * every task fits on the device: ``A_k <= capacity``;
+    * every task can meet its own deadline: ``C_k <= D_k``;
+    * no task needs more than a full device timeline: ``C_k <= T_k``
+      (otherwise backlog grows without bound);
+    * long-run demand fits: ``US(Gamma) <= capacity``.
+
+    A taskset failing any of these is unschedulable by *any* scheduler, so
+    all tests short-circuit to rejection on them.
+    """
+    violations: list[PerTaskVerdict] = []
+    cap = fpga.capacity
+    for t in taskset:
+        if t.area > cap:
+            violations.append(
+                PerTaskVerdict(t.name, False, t.area, cap, "area exceeds device capacity")
+            )
+        if t.wcet > t.deadline:
+            violations.append(
+                PerTaskVerdict(t.name, False, t.wcet, t.deadline, "C > D: infeasible alone")
+            )
+        if t.wcet > t.period:
+            violations.append(
+                PerTaskVerdict(t.name, False, t.wcet, t.period, "C > T: unbounded backlog")
+            )
+    us = taskset.system_utilization
+    if us > cap:
+        violations.append(
+            PerTaskVerdict("*", False, us, cap, "system utilization exceeds capacity")
+        )
+    return TestResult(
+        test_name="necessary",
+        accepted=not violations,
+        per_task=tuple(violations),
+        reason="" if not violations else "necessary feasibility conditions violated",
+    )

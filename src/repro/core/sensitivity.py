@@ -1,0 +1,103 @@
+"""Sensitivity analysis on top of the schedulability bounds.
+
+Two questions a designer asks once a bound accepts (or rejects) a
+workload:
+
+* :func:`critical_scaling` — by how much can execution times grow before
+  the test starts rejecting (acceptance margin), or how much must they
+  shrink for it to accept (infeasibility gap)?  This is the classic
+  critical-scaling-factor metric.
+* :func:`minimum_width` — the narrowest device the test certifies
+  (FPGA dimensioning; see ``examples/fpga_dimensioning.py``).
+
+Both rely on monotonicity properties that the test-suite verifies for
+DP/GN1/GN2: scaling all WCETs down, or widening the device, never turns
+an acceptance into a rejection.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Real
+from typing import Callable, Optional
+
+from repro.fpga.device import Fpga
+from repro.model.task import TaskSet
+
+#: Any accept/reject predicate over (taskset, fpga).
+Test = Callable[[TaskSet, Fpga], object]
+
+
+def critical_scaling(
+    taskset: TaskSet,
+    fpga: Fpga,
+    test: Test,
+    precision: Real = Fraction(1, 1000),
+    upper_limit: Real = 16,
+) -> Optional[Real]:
+    """Largest WCET scale factor ``s`` (within ``precision``) such that the
+    scaled taskset is still accepted by ``test``.
+
+    Returns ``None`` when even scaling toward zero is rejected (the test
+    rejects on structural grounds, e.g. a task wider than the device).
+    ``s >= 1`` means the workload has margin; ``s < 1`` quantifies how
+    far it is from acceptance.  Exact-rational tasksets keep the search
+    exact (the returned factor is a Fraction).
+    """
+    if precision <= 0:
+        raise ValueError("precision must be > 0")
+    if upper_limit <= 0:
+        raise ValueError("upper_limit must be > 0")
+
+    def accepted(factor: Real) -> bool:
+        scaled = taskset.scaled(time_factor=factor)
+        if any(t.wcet > t.period or t.wcet > t.deadline for t in scaled):
+            return False  # scaling made the set structurally infeasible
+        return bool(test(scaled, fpga))
+
+    lo = Fraction(precision)  # smallest factor worth reporting
+    if not accepted(lo):
+        return None
+    hi = Fraction(upper_limit)
+    if accepted(hi):
+        return hi
+    # invariant: accepted(lo), not accepted(hi)
+    while hi - lo > precision:
+        mid = (lo + hi) / 2
+        if accepted(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def minimum_width(
+    taskset: TaskSet,
+    fpga_max_width: int,
+    test: Test,
+) -> Optional[int]:
+    """Smallest device width ``test`` accepts (binary search; monotone).
+
+    Returns ``None`` if even ``fpga_max_width`` is rejected.
+    """
+    if fpga_max_width < 1:
+        raise ValueError("fpga_max_width must be >= 1")
+    lo = max(1, int(taskset.max_area))
+    hi = fpga_max_width
+    if lo > hi or not test(taskset, Fpga(width=hi)):
+        return None
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if test(taskset, Fpga(width=mid)):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def acceptance_margin(
+    taskset: TaskSet, fpga: Fpga, test: Test, precision: Real = Fraction(1, 1000)
+) -> Optional[Real]:
+    """``critical_scaling - 1``: positive = headroom, negative = deficit."""
+    s = critical_scaling(taskset, fpga, test, precision)
+    return None if s is None else s - 1

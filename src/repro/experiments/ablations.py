@@ -1,0 +1,172 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* :func:`alpha_ablation` — the paper's §3 integer-area correction
+  (``Abnd = A(H)-Amax+1``) vs Danne & Platzner's real-area original:
+  how much acceptance the one extra guaranteed-busy column buys.
+* :func:`nf_vs_fkf_ablation` — simulated acceptance of EDF-NF vs EDF-FkF
+  (the §1 dominance claim, quantified).
+* :func:`placement_ablation` — §7 future work: how much schedulability
+  the free-migration assumption is worth (FREE vs RELOCATABLE vs PINNED,
+  by placement policy).
+* :func:`offset_ablation` — §6's "simulation is only an upper bound":
+  how much the synchronous-release acceptance drops when random release
+  offsets are searched for counterexamples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.acceptance import (
+    AcceptanceCurves,
+    AcceptanceSeries,
+    acceptance_experiment,
+    feasible_batch_at,
+)
+from repro.fpga.device import Fpga
+from repro.fpga.placement import PlacementPolicy
+from repro.gen.profiles import GenerationProfile, paper_unconstrained
+from repro.sched.edf_nf import EdfNf
+from repro.sim.offsets import simulate_with_offsets
+from repro.sim.simulator import MigrationMode, default_horizon, simulate
+from repro.util.rngutil import rng_from_seed, spawn_rngs
+
+
+def alpha_ablation(
+    profile: GenerationProfile = None,
+    us_grid: Sequence[float] = tuple(range(10, 100, 10)),
+    samples: int = 2000,
+    seed: int = 31,
+) -> AcceptanceCurves:
+    """DP with integer-area α vs Danne's real-area α (no simulation)."""
+    profile = profile or paper_unconstrained(10)
+    return acceptance_experiment(
+        profile,
+        Fpga(width=100),
+        us_grid,
+        samples_per_point=samples,
+        seed=seed,
+        tests=("DP", "DP-real"),
+        sim_schedulers=(),
+        name="ablation: integer vs real alpha",
+    )
+
+
+def nf_vs_fkf_ablation(
+    profile: GenerationProfile = None,
+    us_grid: Sequence[float] = tuple(range(20, 100, 10)),
+    samples: int = 60,
+    seed: int = 37,
+    workers: int = 1,
+) -> AcceptanceCurves:
+    """Simulated acceptance of the two global EDF variants."""
+    profile = profile or paper_unconstrained(10)
+    return acceptance_experiment(
+        profile,
+        Fpga(width=100),
+        us_grid,
+        samples_per_point=samples,
+        seed=seed,
+        tests=(),
+        sim_schedulers=("EDF-NF", "EDF-FkF"),
+        sim_samples_per_point=samples,
+        workers=workers,
+        name="ablation: EDF-NF vs EDF-FkF (simulation)",
+    )
+
+
+def placement_ablation(
+    profile: GenerationProfile = None,
+    us_grid: Sequence[float] = tuple(range(20, 100, 10)),
+    samples: int = 40,
+    seed: int = 41,
+    policies: Sequence[PlacementPolicy] = (PlacementPolicy.FIRST_FIT,),
+    horizon_factor: int = 10,
+) -> AcceptanceCurves:
+    """Simulated acceptance: free migration vs contiguous placement modes.
+
+    Quantifies the cost of dropping the paper's unrestricted-migration
+    assumption — the gap between ``FREE`` and ``RELOCATABLE`` is pure
+    fragmentation loss; ``PINNED`` additionally loses relocation.
+    """
+    profile = profile or paper_unconstrained(10)
+    fpga = Fpga(width=100)
+    rngs = spawn_rngs(seed, len(us_grid))
+    labels = ["sim:FREE"] + [
+        f"sim:RELOC/{p.value}" for p in policies
+    ] + ["sim:PINNED"]
+    ratios: Dict[str, list] = {label: [] for label in labels}
+    for i, us in enumerate(us_grid):
+        batch = feasible_batch_at(profile, float(us), samples, rngs[i])
+        tasksets = batch.to_tasksets()
+        outcomes: Dict[str, int] = {label: 0 for label in labels}
+        for ts in tasksets:
+            horizon = default_horizon(ts, factor=horizon_factor)
+            outcomes["sim:FREE"] += simulate(
+                ts, fpga, EdfNf(), horizon, mode=MigrationMode.FREE
+            ).schedulable
+            for p in policies:
+                outcomes[f"sim:RELOC/{p.value}"] += simulate(
+                    ts, fpga, EdfNf(), horizon,
+                    mode=MigrationMode.RELOCATABLE, placement_policy=p,
+                ).schedulable
+            outcomes["sim:PINNED"] += simulate(
+                ts, fpga, EdfNf(), horizon, mode=MigrationMode.PINNED
+            ).schedulable
+        for label in labels:
+            ratios[label].append(outcomes[label] / len(tasksets))
+    buckets = tuple(float(u) for u in us_grid)
+    return AcceptanceCurves(
+        name="ablation: placement modes",
+        capacity=fpga.capacity,
+        samples_per_point=samples,
+        sim_samples_per_point=samples,
+        series=tuple(
+            AcceptanceSeries(label, buckets, tuple(vals))
+            for label, vals in ratios.items()
+        ),
+    )
+
+
+def offset_ablation(
+    profile: GenerationProfile = None,
+    us_grid: Sequence[float] = tuple(range(30, 100, 10)),
+    samples: int = 40,
+    offset_samples: int = 10,
+    seed: int = 43,
+    horizon_factor: int = 10,
+) -> AcceptanceCurves:
+    """Synchronous-release acceptance vs offset-searched acceptance."""
+    profile = profile or paper_unconstrained(10)
+    fpga = Fpga(width=100)
+    rngs = spawn_rngs(seed, len(us_grid))
+    sync_ratios, offset_ratios = [], []
+    for i, us in enumerate(us_grid):
+        batch = feasible_batch_at(profile, float(us), samples, rngs[i])
+        offset_rng = rng_from_seed(seed * 1000 + i)
+        sync_ok = 0
+        offset_ok = 0
+        for ts in batch.to_tasksets():
+            horizon = default_horizon(ts, factor=horizon_factor)
+            if simulate(ts, fpga, EdfNf(), horizon).schedulable:
+                sync_ok += 1
+                if simulate_with_offsets(
+                    ts, fpga, EdfNf(), horizon, offset_rng,
+                    samples=offset_samples, include_synchronous=False,
+                ).schedulable:
+                    offset_ok += 1
+        sync_ratios.append(sync_ok / samples)
+        offset_ratios.append(offset_ok / samples)
+    buckets = tuple(float(u) for u in us_grid)
+    return AcceptanceCurves(
+        name="ablation: synchronous vs offset-searched simulation",
+        capacity=fpga.capacity,
+        samples_per_point=samples,
+        sim_samples_per_point=samples,
+        series=(
+            AcceptanceSeries("sim:synchronous", buckets, tuple(sync_ratios)),
+            AcceptanceSeries("sim:offset-search", buckets, tuple(offset_ratios)),
+        ),
+    )

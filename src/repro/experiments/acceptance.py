@@ -1,0 +1,285 @@
+"""The acceptance-ratio experiment engine (paper §6 methodology).
+
+For each total-system-utilization bucket, generate many tasksets from a
+profile, rescaled so ``US(Γ)`` hits the bucket exactly, then record the
+fraction accepted by each schedulability test and by simulation.  Tests
+run vectorized over the whole batch; simulation (the expensive part) runs
+on a configurable subsample, optionally across worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fpga.device import Fpga
+from repro.gen.profiles import GenerationProfile
+from repro.sched.edf_fkf import EdfFkf
+from repro.sched.edf_nf import EdfNf
+from repro.util.parallel import parallel_map
+from repro.util.rngutil import rng_from_seed, spawn_rngs
+from repro.vector.batch import TaskSetBatch, generate_batch
+from repro.vector.dp_vec import dp_accepts
+from repro.vector.gn1_vec import gn1_accepts
+from repro.vector.gn2_vec import gn2_accepts
+
+#: Vectorized analytical tests available to the engine.
+TEST_FUNCS = {
+    "DP": lambda batch, cap: dp_accepts(batch, cap),
+    "DP-real": lambda batch, cap: dp_accepts(batch, cap, integer_areas=False),
+    "GN1": lambda batch, cap: gn1_accepts(batch, cap),
+    "GN2": lambda batch, cap: gn2_accepts(batch, cap),
+    "ANY": lambda batch, cap: (
+        dp_accepts(batch, cap) | gn1_accepts(batch, cap) | gn2_accepts(batch, cap)
+    ),
+}
+
+_SCHEDULERS = {"EDF-NF": EdfNf, "EDF-FkF": EdfFkf}
+
+
+@dataclass(frozen=True)
+class AcceptanceSeries:
+    """One curve: acceptance ratio per utilization bucket."""
+
+    label: str
+    utilizations: Tuple[float, ...]
+    ratios: Tuple[float, ...]
+
+    def at(self, utilization: float) -> float:
+        """Ratio at an exact bucket value (KeyError if absent)."""
+        for u, r in zip(self.utilizations, self.ratios):
+            if u == utilization:
+                return r
+        raise KeyError(utilization)
+
+
+@dataclass(frozen=True)
+class AcceptanceCurves:
+    """A full experiment: several series over the same buckets."""
+
+    name: str
+    capacity: int
+    samples_per_point: int
+    sim_samples_per_point: int
+    series: Tuple[AcceptanceSeries, ...]
+
+    def __getitem__(self, label: str) -> AcceptanceSeries:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(s.label for s in self.series)
+
+    def rows(self) -> List[Tuple[float, ...]]:
+        """(utilization, ratio_1, ratio_2, ...) rows for tabular output."""
+        buckets = self.series[0].utilizations
+        out = []
+        for idx, u in enumerate(buckets):
+            out.append((u,) + tuple(s.ratios[idx] for s in self.series))
+        return out
+
+
+def feasible_batch_at(
+    profile: GenerationProfile,
+    us_target: float,
+    count: int,
+    rng: np.random.Generator,
+    max_rounds: int = 60,
+) -> TaskSetBatch:
+    """``count`` tasksets from ``profile`` rescaled to ``US == us_target``.
+
+    Vectorized analogue of :func:`repro.gen.sweep.generate_at_system_utilization`:
+    infeasible rescales (some task's utilization would exceed 1) are
+    discarded and redrawn.  Raises :class:`RuntimeError` when the target
+    is unreachable for the profile.
+    """
+    if us_target <= 0:
+        raise ValueError("us_target must be > 0")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    kept: List[TaskSetBatch] = []
+    have = 0
+    for _ in range(max_rounds):
+        draw = generate_batch(profile, count, rng)
+        scaled = draw.scaled_to_system_utilization(np.full(count, us_target))
+        mask = scaled.feasible_mask
+        if mask.any():
+            kept.append(
+                TaskSetBatch(
+                    scaled.wcet[mask],
+                    scaled.period[mask],
+                    scaled.deadline[mask],
+                    scaled.area[mask],
+                )
+            )
+            have += int(mask.sum())
+        if have >= count:
+            break
+    if have < count:
+        raise RuntimeError(
+            f"profile {profile.name!r} cannot reach US={us_target}: "
+            f"only {have}/{count} feasible samples in {max_rounds} rounds"
+        )
+    merged = TaskSetBatch(
+        np.concatenate([b.wcet for b in kept])[:count],
+        np.concatenate([b.period for b in kept])[:count],
+        np.concatenate([b.deadline for b in kept])[:count],
+        np.concatenate([b.area for b in kept])[:count],
+    )
+    return merged
+
+
+def binned_batch_at(
+    profile: GenerationProfile,
+    us_target: float,
+    tolerance: float,
+    count: int,
+    rng: np.random.Generator,
+    max_rounds: int = 30,
+    chunk: int = 50_000,
+) -> Optional[TaskSetBatch]:
+    """Up to ``count`` *raw* draws whose ``US`` lands within ``tolerance``
+    of ``us_target`` (no rescaling — the paper's §6 binning methodology).
+
+    Unlike :func:`feasible_batch_at`, the drawn tasksets keep the
+    profile's joint distribution exactly (crucial for Figure 4(b), where
+    rescaling would destroy the "temporally heavy" property — DESIGN.md
+    §4.8).  Returns ``None`` when the bucket is unreachable; a short batch
+    when only some samples landed.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be > 0")
+    kept: List[TaskSetBatch] = []
+    have = 0
+    for _ in range(max_rounds):
+        draw = generate_batch(profile, chunk, rng)
+        mask = np.abs(draw.system_utilization - us_target) <= tolerance
+        if mask.any():
+            kept.append(
+                TaskSetBatch(
+                    draw.wcet[mask], draw.period[mask],
+                    draw.deadline[mask], draw.area[mask],
+                )
+            )
+            have += int(mask.sum())
+        if have >= count:
+            break
+    if have == 0:
+        return None
+    return TaskSetBatch(
+        np.concatenate([b.wcet for b in kept])[:count],
+        np.concatenate([b.period for b in kept])[:count],
+        np.concatenate([b.deadline for b in kept])[:count],
+        np.concatenate([b.area for b in kept])[:count],
+    )
+
+
+def _simulate_one(args) -> bool:
+    """Worker: one taskset, one scheduler (picklable for process pools)."""
+    taskset, capacity, scheduler_name, horizon_factor = args
+    from repro.sim.simulator import default_horizon, simulate
+
+    scheduler = _SCHEDULERS[scheduler_name]()
+    horizon = default_horizon(taskset, factor=horizon_factor)
+    return simulate(taskset, Fpga(width=capacity), scheduler, horizon).schedulable
+
+
+def acceptance_experiment(
+    profile: GenerationProfile,
+    fpga: Fpga,
+    us_grid: Sequence[float],
+    samples_per_point: int,
+    seed: int,
+    *,
+    tests: Sequence[str] = ("DP", "GN1", "GN2"),
+    sim_schedulers: Sequence[str] = ("EDF-NF",),
+    sim_samples_per_point: Optional[int] = None,
+    horizon_factor: int = 20,
+    workers: int = 1,
+    name: Optional[str] = None,
+    sampling: str = "rescale",
+) -> AcceptanceCurves:
+    """Run the full §6 experiment for one workload profile.
+
+    ``tests`` picks analytical curves from :data:`TEST_FUNCS`;
+    ``sim_schedulers`` adds simulation curves (labelled ``sim:<name>``)
+    computed on ``sim_samples_per_point`` (default: min(samples, 200))
+    tasksets per bucket.  ``workers > 1`` parallelizes the simulations.
+
+    ``sampling`` selects how buckets are filled: ``"rescale"`` draws from
+    the profile and rescales WCETs to the exact target (fast, exact
+    buckets); ``"bin"`` keeps raw draws whose ``US`` falls near the target
+    (the paper's methodology — preserves the profile's joint shape, see
+    Figure 4(b)).  Binned buckets that attract no samples yield ``nan``.
+    """
+    if sampling not in ("rescale", "bin"):
+        raise ValueError(f"unknown sampling mode {sampling!r}")
+    unknown = set(tests) - set(TEST_FUNCS)
+    if unknown:
+        raise ValueError(f"unknown tests: {sorted(unknown)}")
+    unknown = set(sim_schedulers) - set(_SCHEDULERS)
+    if unknown:
+        raise ValueError(f"unknown schedulers: {sorted(unknown)}")
+    if samples_per_point < 1:
+        raise ValueError("samples_per_point must be >= 1")
+    sim_n = (
+        min(samples_per_point, 200)
+        if sim_samples_per_point is None
+        else min(sim_samples_per_point, samples_per_point)
+    )
+    capacity = fpga.capacity
+
+    ratios: Dict[str, List[float]] = {t: [] for t in tests}
+    for s in sim_schedulers:
+        ratios[f"sim:{s}"] = []
+
+    grid_list = [float(u) for u in us_grid]
+    spacing = (
+        min(b - a for a, b in zip(grid_list, grid_list[1:]))
+        if len(grid_list) > 1
+        else max(grid_list[0] * 0.1, 1.0)
+    )
+    rngs = spawn_rngs(seed, len(us_grid))
+    for bucket_idx, us_target in enumerate(grid_list):
+        if sampling == "rescale":
+            batch = feasible_batch_at(
+                profile, us_target, samples_per_point, rngs[bucket_idx]
+            )
+        else:
+            batch = binned_batch_at(
+                profile, us_target, spacing / 2, samples_per_point, rngs[bucket_idx]
+            )
+        if batch is None:
+            for test in tests:
+                ratios[test].append(float("nan"))
+            for sched in sim_schedulers:
+                ratios[f"sim:{sched}"].append(float("nan"))
+            continue
+        for test in tests:
+            mask = TEST_FUNCS[test](batch, capacity)
+            ratios[test].append(float(mask.mean()))
+        if sim_schedulers and sim_n > 0:
+            tasksets = [batch.taskset(i) for i in range(min(sim_n, batch.count))]
+            for sched in sim_schedulers:
+                args = [(ts, capacity, sched, horizon_factor) for ts in tasksets]
+                outcomes = parallel_map(_simulate_one, args, workers=workers)
+                ratios[f"sim:{sched}"].append(sum(outcomes) / len(outcomes))
+
+    buckets = tuple(float(u) for u in us_grid)
+    series = tuple(
+        AcceptanceSeries(label, buckets, tuple(vals)) for label, vals in ratios.items()
+    )
+    return AcceptanceCurves(
+        name=name or profile.name,
+        capacity=capacity,
+        samples_per_point=samples_per_point,
+        sim_samples_per_point=sim_n,
+        series=series,
+    )

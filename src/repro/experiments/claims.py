@@ -1,0 +1,114 @@
+"""Machine-checkable versions of the paper's figure-level claims.
+
+Each checker takes the regenerated :class:`AcceptanceCurves` for a figure
+and returns the list of violated claims (empty = full reproduction).
+Both the benchmark harness and the test-suite call these, so the
+qualitative reproduction criteria live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+from repro.experiments.acceptance import AcceptanceCurves, AcceptanceSeries
+
+#: Sampling-noise allowance when comparing an analytic curve (full batch)
+#: against the simulation curve (subsample of the batch).
+NOISE = 0.02
+
+
+def _auc(series: AcceptanceSeries) -> float:
+    vals = [r for r in series.ratios if not math.isnan(r)]
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+def _tail(series: AcceptanceSeries) -> float:
+    """Acceptance mass in the upper-utilization half of the curve."""
+    n = len(series.ratios)
+    vals = [r for r in series.ratios[n // 2 :] if not math.isnan(r)]
+    return sum(vals)
+
+
+def _tests_pessimistic(curves: AcceptanceCurves, violations: List[str]) -> None:
+    sim = curves["sim:EDF-NF"]
+    for label in ("DP", "GN1", "GN2"):
+        if _auc(curves[label]) > _auc(sim) + NOISE:
+            violations.append(
+                f"{label} not pessimistic vs simulation "
+                f"({_auc(curves[label]):.3f} > {_auc(sim):.3f})"
+            )
+
+
+def check_fig3a(curves: AcceptanceCurves) -> List[str]:
+    """4 tasks, unconstrained: tests pessimistic; GN1 best in the tail."""
+    violations: List[str] = []
+    _tests_pessimistic(curves, violations)
+    gn1_tail = _tail(curves["GN1"])
+    for other in ("DP", "GN2"):
+        if gn1_tail < _tail(curves[other]):
+            violations.append(
+                f"GN1 tail ({gn1_tail:.3f}) not best for few tasks "
+                f"(vs {other}: {_tail(curves[other]):.3f})"
+            )
+    for label in ("DP", "GN1", "GN2"):
+        s = curves[label]
+        if not s.ratios[0] > s.ratios[-1]:
+            violations.append(f"{label} does not decay with utilization")
+    return violations
+
+
+def check_fig3b(curves: AcceptanceCurves) -> List[str]:
+    """10 tasks, unconstrained: tests pessimistic; DP best overall."""
+    violations: List[str] = []
+    _tests_pessimistic(curves, violations)
+    dp = _auc(curves["DP"])
+    if dp < _auc(curves["GN1"]):
+        violations.append("DP not better than GN1 for many tasks")
+    if dp < _auc(curves["GN2"]) - 0.01:
+        violations.append("DP materially worse than GN2 for many tasks")
+    return violations
+
+
+def check_fig4a(curves: AcceptanceCurves) -> List[str]:
+    """Spatially heavy: all three tests poor, simulation far ahead."""
+    violations: List[str] = []
+    sim = curves["sim:EDF-NF"]
+    for label in ("DP", "GN1", "GN2"):
+        if _auc(curves[label]) > 0.10:
+            violations.append(f"{label} not poor on spatially-heavy sets")
+        if _auc(curves[label]) > 0.25 * _auc(sim):
+            violations.append(f"{label} too close to simulation")
+    return violations
+
+
+def check_fig4b(curves: AcceptanceCurves) -> List[str]:
+    """Temporally heavy: GN1 best, DP worst."""
+    violations: List[str] = []
+    gn1, gn2, dp = _auc(curves["GN1"]), _auc(curves["GN2"]), _auc(curves["DP"])
+    if not gn1 > gn2:
+        violations.append(f"GN1 ({gn1:.3f}) not above GN2 ({gn2:.3f})")
+    if not gn2 > dp:
+        violations.append(f"GN2 ({gn2:.3f}) not above DP ({dp:.3f})")
+    if dp > 0.01:
+        violations.append(f"DP unexpectedly accepts temporally-heavy sets ({dp:.3f})")
+    if _auc(curves["GN1"]) > _auc(curves["sim:EDF-NF"]) + NOISE:
+        violations.append("GN1 not pessimistic vs simulation")
+    return violations
+
+
+CHECKERS: Dict[str, Callable[[AcceptanceCurves], List[str]]] = {
+    "fig3a": check_fig3a,
+    "fig3b": check_fig3b,
+    "fig4a": check_fig4a,
+    "fig4b": check_fig4b,
+}
+
+
+def check_figure(figure_id: str, curves: AcceptanceCurves) -> List[str]:
+    """Dispatch to the figure's claim checker."""
+    try:
+        checker = CHECKERS[figure_id]
+    except KeyError:
+        raise KeyError(f"no claim checker for {figure_id!r}") from None
+    return checker(curves)

@@ -1,0 +1,93 @@
+"""Experiment registry: id -> runner, for the CLI and the benchmarks.
+
+Every table/figure/ablation in DESIGN.md's experiment index is reachable
+from here, so ``repro-experiments run <id>`` regenerates any artifact of
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.experiments import ablations
+from repro.experiments.acceptance import AcceptanceCurves
+from repro.experiments.figures import FIGURES, run_figure
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A runnable experiment with scalable sample counts."""
+
+    experiment_id: str
+    description: str
+    #: (samples, seed, workers) -> AcceptanceCurves
+    runner: Callable[[int, int, int], AcceptanceCurves]
+    default_samples: int
+
+
+def _figure_runner(figure_id: str):
+    def run(samples: int, seed: int, workers: int) -> AcceptanceCurves:
+        return run_figure(
+            figure_id,
+            samples=samples,
+            seed=seed,
+            sim_samples=max(1, samples // 10),
+            workers=workers,
+        )
+
+    return run
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    **{
+        fid: Experiment(
+            fid,
+            spec.title,
+            _figure_runner(fid),
+            default_samples=1000,
+        )
+        for fid, spec in FIGURES.items()
+    },
+    "ablation-alpha": Experiment(
+        "ablation-alpha",
+        "DP with integer-area alpha vs Danne's real-area alpha",
+        lambda samples, seed, workers: ablations.alpha_ablation(
+            samples=samples, seed=seed
+        ),
+        default_samples=2000,
+    ),
+    "ablation-nf-fkf": Experiment(
+        "ablation-nf-fkf",
+        "Simulated acceptance of EDF-NF vs EDF-FkF",
+        lambda samples, seed, workers: ablations.nf_vs_fkf_ablation(
+            samples=samples, seed=seed, workers=workers
+        ),
+        default_samples=60,
+    ),
+    "ablation-placement": Experiment(
+        "ablation-placement",
+        "Free migration vs contiguous placement (fragmentation cost)",
+        lambda samples, seed, workers: ablations.placement_ablation(
+            samples=samples, seed=seed
+        ),
+        default_samples=40,
+    ),
+    "ablation-offsets": Experiment(
+        "ablation-offsets",
+        "Synchronous-release simulation vs offset-searched upper bound",
+        lambda samples, seed, workers: ablations.offset_ablation(
+            samples=samples, seed=seed
+        ),
+        default_samples=40,
+    ),
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look an experiment up by id (KeyError lists the known ids)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")

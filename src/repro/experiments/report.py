@@ -1,0 +1,67 @@
+"""Rendering acceptance curves as text, CSV and markdown."""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from repro.experiments.acceptance import AcceptanceCurves
+
+
+def as_text(curves: AcceptanceCurves, normalize: bool = False) -> str:
+    """Fixed-width table; ``normalize`` divides US by the device capacity."""
+    header = ["US/A(H)" if normalize else "US"] + list(curves.labels)
+    widths = [max(10, len(h) + 2) for h in header]
+    buf = io.StringIO()
+    buf.write(f"# {curves.name}\n")
+    buf.write(
+        f"# capacity={curves.capacity} samples/point={curves.samples_per_point} "
+        f"sim-samples/point={curves.sim_samples_per_point}\n"
+    )
+    buf.write("".join(h.ljust(w) for h, w in zip(header, widths)).rstrip() + "\n")
+    for row in curves.rows():
+        u = row[0] / curves.capacity if normalize else row[0]
+        cells = [f"{u:.3f}"] + [f"{r:.3f}" for r in row[1:]]
+        buf.write("".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip() + "\n")
+    return buf.getvalue()
+
+
+def as_csv(curves: AcceptanceCurves) -> str:
+    header = ",".join(["us"] + [label.replace(",", ";") for label in curves.labels])
+    lines = [header]
+    for row in curves.rows():
+        lines.append(",".join(f"{v:.6g}" for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def as_markdown(curves: AcceptanceCurves) -> str:
+    header = "| US | " + " | ".join(curves.labels) + " |"
+    sep = "|" + "----|" * (len(curves.labels) + 1)
+    lines = [f"**{curves.name}**", "", header, sep]
+    for row in curves.rows():
+        lines.append(
+            "| " + f"{row[0]:.0f}" + " | " + " | ".join(f"{r:.3f}" for r in row[1:]) + " |"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(curves: AcceptanceCurves, label: str, width: int = 40) -> str:
+    """A quick unicode plot of one series (for terminal eyeballing)."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    series = curves[label]
+    cells = []
+    for r in series.ratios:
+        idx = min(int(r * (len(blocks) - 1) + 0.5), len(blocks) - 1)
+        cells.append(blocks[idx])
+    return f"{label:>12} |{''.join(cells)}|"
+
+
+def render(curves: AcceptanceCurves, fmt: str = "text") -> str:
+    """Dispatch on output format name ('text', 'csv', 'markdown')."""
+    if fmt == "text":
+        return as_text(curves)
+    if fmt == "csv":
+        return as_csv(curves)
+    if fmt == "markdown":
+        return as_markdown(curves)
+    raise ValueError(f"unknown format {fmt!r}")

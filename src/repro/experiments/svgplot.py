@@ -1,0 +1,165 @@
+"""Dependency-free SVG line charts for the acceptance-ratio figures.
+
+matplotlib is not available in minimal environments, and the paper's
+figures are simple multi-series line plots — so this module writes them
+directly as SVG: one polyline per series, axes, ticks, grid and a legend.
+`repro-experiments run figX --svg out.svg` regenerates a figure *image*
+comparable to the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.acceptance import AcceptanceCurves
+
+#: Color cycle (colorblind-safe-ish) for up to eight series.
+PALETTE = [
+    "#0072b2",  # blue
+    "#d55e00",  # vermillion
+    "#009e73",  # green
+    "#cc79a7",  # magenta
+    "#e69f00",  # orange
+    "#56b4e9",  # sky
+    "#f0e442",  # yellow
+    "#000000",  # black
+]
+
+_DASHES = ["none", "6,3", "2,2", "8,3,2,3", "none", "6,3", "2,2", "8,3,2,3"]
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def render_svg(
+    curves: AcceptanceCurves,
+    width: int = 640,
+    height: int = 420,
+    normalize_x: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Render the curves as a standalone SVG document (string)."""
+    if width < 200 or height < 150:
+        raise ValueError("canvas too small to be legible (min 200x150)")
+    margin_l, margin_r, margin_t, margin_b = 56, 16, 36, 44
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    xs_raw = list(curves.series[0].utilizations)
+    if normalize_x:
+        xs_raw = [u / curves.capacity for u in xs_raw]
+    x_min, x_max = min(xs_raw), max(xs_raw)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    def sx(x: float) -> float:
+        return margin_l + (x - x_min) / (x_max - x_min) * plot_w
+
+    def sy(y: float) -> float:
+        return margin_t + (1.0 - y) * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+
+    # grid + y ticks at 0, .25, .5, .75, 1
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = sy(frac)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{margin_l + plot_w}" '
+            f'y2="{y:.1f}" stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-size="11" font-family="sans-serif">{frac:g}</text>'
+        )
+    # x ticks: ~6 round values
+    n_ticks = 6
+    for i in range(n_ticks):
+        x_val = x_min + (x_max - x_min) * i / (n_ticks - 1)
+        x = sx(x_val)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_t + plot_h}" x2="{x:.1f}" '
+            f'y2="{margin_t + plot_h + 4}" stroke="#333333"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{margin_t + plot_h + 17}" text-anchor="middle" '
+            f'font-size="11" font-family="sans-serif">{x_val:.2g}</text>'
+        )
+
+    # axes
+    parts.append(
+        f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" height="{plot_h}" '
+        f'fill="none" stroke="#333333" stroke-width="1"/>'
+    )
+    # axis labels + title
+    x_label = "US(Γ) / A(H)" if normalize_x else "total system utilization US(Γ)"
+    parts.append(
+        f'<text x="{margin_l + plot_w / 2:.0f}" y="{height - 8}" '
+        f'text-anchor="middle" font-size="12" font-family="sans-serif">'
+        f"{_escape(x_label)}</text>"
+    )
+    parts.append(
+        f'<text x="14" y="{margin_t + plot_h / 2:.0f}" text-anchor="middle" '
+        f'font-size="12" font-family="sans-serif" '
+        f'transform="rotate(-90 14 {margin_t + plot_h / 2:.0f})">'
+        f"acceptance ratio</text>"
+    )
+    parts.append(
+        f'<text x="{margin_l + plot_w / 2:.0f}" y="20" text-anchor="middle" '
+        f'font-size="13" font-weight="bold" font-family="sans-serif">'
+        f"{_escape(title or curves.name)}</text>"
+    )
+
+    # series
+    for idx, series in enumerate(curves.series):
+        color = PALETTE[idx % len(PALETTE)]
+        dash = _DASHES[idx % len(_DASHES)]
+        points: List[Tuple[float, float]] = [
+            (sx(x), sy(max(0.0, min(1.0, r))))
+            for x, r in zip(xs_raw, series.ratios)
+            if not math.isnan(r)
+        ]
+        if not points:
+            continue
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        dash_attr = "" if dash == "none" else f' stroke-dasharray="{dash}"'
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"{dash_attr}/>'
+        )
+        for x, y in points:
+            parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.2" fill="{color}"/>')
+
+    # legend (top-right inside plot)
+    legend_x = margin_l + plot_w - 150
+    legend_y = margin_t + 10
+    for idx, series in enumerate(curves.series):
+        color = PALETTE[idx % len(PALETTE)]
+        y = legend_y + idx * 16
+        parts.append(
+            f'<line x1="{legend_x}" y1="{y}" x2="{legend_x + 22}" y2="{y}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 28}" y="{y + 4}" font-size="11" '
+            f'font-family="sans-serif">{_escape(series.label)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(curves: AcceptanceCurves, path, **kwargs) -> None:
+    """Write :func:`render_svg` output to a file (parents created)."""
+    from pathlib import Path
+
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(render_svg(curves, **kwargs))

@@ -1,0 +1,162 @@
+"""Free-interval manager for contiguous 1D column allocation.
+
+Tracks the free/occupied state of the device's columns as a sorted list of
+maximal free intervals.  Invariants (enforced, and property-tested):
+
+* free intervals are disjoint, sorted, non-empty, and maximal (no two
+  adjacent intervals touch — they would have been coalesced);
+* allocations never overlap each other or static regions;
+* ``total_free + sum(allocated widths)`` equals the device capacity.
+
+Complexities are O(#intervals) per operation, which is plenty: interval
+count is bounded by the number of concurrently placed jobs + 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.fpga.device import Fpga
+from repro.fpga.placement import PlacementPolicy, choose_interval
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A placed block: ``width`` columns starting at ``start``."""
+
+    key: object
+    start: int
+    width: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.width
+
+
+class FreeListError(RuntimeError):
+    """Raised on misuse (double-free, unknown key, overlapping placement)."""
+
+
+class FreeList:
+    """Mutable contiguous-allocation state for one device."""
+
+    def __init__(self, fpga: Fpga):
+        self._fpga = fpga
+        self._free: List[Tuple[int, int]] = list(fpga.free_spans())
+        self._allocs: Dict[object, Allocation] = {}
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def free_intervals(self) -> List[Tuple[int, int]]:
+        """Sorted maximal free intervals (half-open)."""
+        return list(self._free)
+
+    @property
+    def total_free(self) -> int:
+        return sum(e - s for s, e in self._free)
+
+    @property
+    def largest_hole(self) -> int:
+        return max((e - s for s, e in self._free), default=0)
+
+    @property
+    def occupied(self) -> int:
+        """Columns currently allocated to jobs (excludes static regions)."""
+        return sum(a.width for a in self._allocs.values())
+
+    def allocation_of(self, key: object) -> Optional[Allocation]:
+        return self._allocs.get(key)
+
+    def can_place(self, width: int) -> bool:
+        """True iff some hole is wide enough for a ``width``-column task."""
+        return self.largest_hole >= width
+
+    def is_free(self, start: int, width: int) -> bool:
+        """True iff ``[start, start+width)`` lies entirely inside a free hole."""
+        end = start + width
+        return any(s <= start and end <= e for s, e in self._free)
+
+    # -- mutations ---------------------------------------------------------
+
+    def allocate(
+        self, key: object, width: int, policy: PlacementPolicy = PlacementPolicy.FIRST_FIT
+    ) -> Optional[Allocation]:
+        """Place ``width`` columns for ``key``; returns ``None`` if no hole fits."""
+        if key in self._allocs:
+            raise FreeListError(f"key {key!r} already has an allocation")
+        if width <= 0:
+            raise FreeListError(f"width must be >= 1, got {width}")
+        start = choose_interval(self._free, width, policy)
+        if start is None:
+            return None
+        self.allocate_at(key, start, width)
+        return self._allocs[key]
+
+    def allocate_at(self, key: object, start: int, width: int) -> Allocation:
+        """Place at an explicit position (used to pin a resumed job).
+
+        Raises :class:`FreeListError` unless ``[start, start+width)`` is
+        entirely free.
+        """
+        if key in self._allocs:
+            raise FreeListError(f"key {key!r} already has an allocation")
+        end = start + width
+        for idx, (s, e) in enumerate(self._free):
+            if s <= start and end <= e:
+                # Split the hole into up to two remnants.
+                replacement = []
+                if s < start:
+                    replacement.append((s, start))
+                if end < e:
+                    replacement.append((end, e))
+                self._free[idx : idx + 1] = replacement
+                alloc = Allocation(key, start, width)
+                self._allocs[key] = alloc
+                return alloc
+        raise FreeListError(f"interval [{start},{end}) is not free")
+
+    def release(self, key: object) -> None:
+        """Free the allocation held by ``key``, coalescing neighbours."""
+        alloc = self._allocs.pop(key, None)
+        if alloc is None:
+            raise FreeListError(f"no allocation for key {key!r}")
+        self._insert_free(alloc.start, alloc.end)
+
+    def release_all(self) -> None:
+        """Drop every allocation (defragment to the device's free spans)."""
+        self._allocs.clear()
+        self._free = list(self._fpga.free_spans())
+
+    # -- internals -----------------------------------------------------------
+
+    def _insert_free(self, start: int, end: int) -> None:
+        """Insert ``[start, end)`` into the sorted free list, coalescing."""
+        idx = 0
+        while idx < len(self._free) and self._free[idx][0] < start:
+            idx += 1
+        self._free.insert(idx, (start, end))
+        # Coalesce with right neighbour, then left.
+        if idx + 1 < len(self._free) and self._free[idx][1] == self._free[idx + 1][0]:
+            s, _ = self._free[idx]
+            _, e = self._free[idx + 1]
+            self._free[idx : idx + 2] = [(s, e)]
+        if idx > 0 and self._free[idx - 1][1] == self._free[idx][0]:
+            s, _ = self._free[idx - 1]
+            _, e = self._free[idx]
+            self._free[idx - 1 : idx + 1] = [(s, e)]
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants (used by tests and the simulator)."""
+        prev_end = -1
+        for s, e in self._free:
+            assert s < e, f"empty free interval ({s},{e})"
+            assert s > prev_end, "free intervals not sorted/maximal"
+            prev_end = e
+        allocs = sorted(self._allocs.values(), key=lambda a: a.start)
+        for a, b in zip(allocs, allocs[1:]):
+            assert a.end <= b.start, f"allocations {a} and {b} overlap"
+        assert (
+            self.total_free + self.occupied == self._fpga.capacity
+        ), "free + occupied != capacity"

@@ -1,0 +1,49 @@
+"""Contiguous placement policies: first-fit, best-fit, worst-fit.
+
+Under the paper's unrestricted-migration assumption, placement is
+irrelevant (a job fits iff total free area suffices).  The §7 future-work
+experiments drop that assumption: a job then needs a contiguous hole, and
+the choice of hole determines fragmentation.  These are the three classic
+policies the paper names (§1, assumption bullet 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence, Tuple
+
+Interval = Tuple[int, int]  # half-open (start, end)
+
+
+class PlacementPolicy(enum.Enum):
+    """Rule for choosing among candidate free holes."""
+
+    #: Leftmost hole that fits.
+    FIRST_FIT = "first-fit"
+    #: Smallest hole that fits (ties: leftmost) — minimizes leftover split.
+    BEST_FIT = "best-fit"
+    #: Largest hole that fits (ties: leftmost) — keeps leftovers usable.
+    WORST_FIT = "worst-fit"
+
+
+def choose_interval(
+    free: Sequence[Interval], need: int, policy: PlacementPolicy
+) -> Optional[int]:
+    """Pick the start column for a ``need``-wide task among ``free`` holes.
+
+    ``free`` must be sorted, disjoint, half-open intervals.  Returns the
+    chosen start column or ``None`` when no hole is wide enough (the job
+    is blocked by fragmentation even if total free area suffices).
+    """
+    if need <= 0:
+        raise ValueError(f"need must be >= 1, got {need}")
+    candidates = [(s, e - s) for (s, e) in free if e - s >= need]
+    if not candidates:
+        return None
+    if policy is PlacementPolicy.FIRST_FIT:
+        return candidates[0][0]
+    if policy is PlacementPolicy.BEST_FIT:
+        return min(candidates, key=lambda c: (c[1], c[0]))[0]
+    if policy is PlacementPolicy.WORST_FIT:
+        return max(candidates, key=lambda c: (c[1], -c[0]))[0]
+    raise AssertionError(f"unhandled policy {policy!r}")  # pragma: no cover

@@ -1,0 +1,69 @@
+"""Reconfiguration-overhead model (paper §1, assumption bullet 3, and §7).
+
+The paper assumes zero reconfiguration overhead but notes real overheads
+are milliseconds, proportional to the reconfigured area, and that the
+analysis "can easily take the overhead into account by adding it to the
+execution time".  This module provides both halves:
+
+* :class:`ReconfigurationModel` — overhead charged by the *simulator*
+  whenever a job is (re)configured onto the fabric;
+* :func:`inflate_taskset` — the *analysis-side* accounting: inflate each
+  task's WCET by the worst-case number of reconfigurations it can suffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from numbers import Real
+
+from repro.model.task import Task, TaskSet
+
+
+@dataclass(frozen=True)
+class ReconfigurationModel:
+    """Loading a job onto the fabric costs ``base + per_column * A``.
+
+    ``ZERO`` (the default everywhere) reproduces the paper's assumption.
+    """
+
+    base: Real = 0
+    per_column: Real = 0
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.per_column < 0:
+            raise ValueError("reconfiguration costs must be >= 0")
+
+    def load_time(self, area: Real) -> Real:
+        """Time to (re)configure an ``area``-column job onto the device."""
+        return self.base + self.per_column * area
+
+    @property
+    def is_zero(self) -> bool:
+        return self.base == 0 and self.per_column == 0
+
+
+#: The paper's assumption: reconfiguration is free.
+ZERO_RECONFIG = ReconfigurationModel()
+
+
+def inflate_taskset(
+    taskset: TaskSet,
+    model: ReconfigurationModel,
+    reconfigurations_per_job: int = 1,
+) -> TaskSet:
+    """Charge reconfiguration overhead to execution times for analysis.
+
+    Each job is loaded at least once; every preemption adds another load on
+    resume.  ``reconfigurations_per_job`` is the bound the caller wants to
+    provision for (1 = non-preemptive loading only).  This mirrors the
+    response-time-analysis trick the paper cites for context-switch
+    overhead in fixed-priority CPU scheduling.
+    """
+    if reconfigurations_per_job < 0:
+        raise ValueError("reconfigurations_per_job must be >= 0")
+
+    def inflate(t: Task) -> Task:
+        overhead = model.load_time(t.area) * reconfigurations_per_job
+        return t.with_wcet(t.wcet + overhead)
+
+    return taskset.map(inflate)

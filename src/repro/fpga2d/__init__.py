@@ -1,0 +1,48 @@
+"""2D-reconfigurable FPGA extension (paper §7 future work).
+
+"For future work, we plan to relax some of the assumptions ... to handle
+2D reconfigurable FPGAs ... Especially for 2D reconfiguration, task
+placement strategy has a large effect on FPGA fragmentation, and we
+cannot assume that a task can fit on the FPGA as long as there is enough
+free area, even with free task migrations."
+
+This package provides exactly that study:
+
+* :class:`Fpga2D` / :class:`Task2D` — the 2D device and task model
+  (tasks occupy ``w x h`` rectangles);
+* :class:`BottomLeftPacker` — online rectangle placement with the
+  classic bottom-left heuristic (plus invariant checking);
+* :func:`simulate_2d` — event-driven EDF-NF/FkF simulation under either
+  the optimistic total-area fit rule or true rectangle packing — the gap
+  between the two is the §7 fragmentation effect, now measurable;
+* :func:`shelf_test` — a *sound* sufficient schedulability test obtained
+  by slicing the device into independent full-width shelves and applying
+  the paper's 1D bounds per shelf.
+"""
+
+from repro.fpga2d.device import Fpga2D
+from repro.fpga2d.model import Task2D, TaskSet2D
+from repro.fpga2d.packing import BottomLeftPacker, PlacedRect
+from repro.fpga2d.sim2d import FitRule, Simulation2DResult, simulate_2d
+from repro.fpga2d.bounds import necessary_conditions_2d, shelf_test
+from repro.fpga2d.gen2d import (
+    GenerationProfile2D,
+    generate_taskset_2d,
+    generate_tasksets_2d,
+)
+
+__all__ = [
+    "Fpga2D",
+    "Task2D",
+    "TaskSet2D",
+    "BottomLeftPacker",
+    "PlacedRect",
+    "FitRule",
+    "Simulation2DResult",
+    "simulate_2d",
+    "necessary_conditions_2d",
+    "shelf_test",
+    "GenerationProfile2D",
+    "generate_taskset_2d",
+    "generate_tasksets_2d",
+]

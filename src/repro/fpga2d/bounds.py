@@ -1,0 +1,127 @@
+"""Sound schedulability analysis for the 2D device via shelf decomposition.
+
+No published utilization bound exists for true 2D PRTR scheduling (the
+paper lists it as future work).  What CAN be done soundly: slice the
+device into ``floor(H / h_shelf)`` independent full-width shelves of
+height ``h_shelf >= max task height``.  A task placed on a shelf occupies
+``width`` contiguous columns of that shelf — exactly the paper's 1D model
+with ``A(H) = device width``.  Partition the tasks across shelves such
+that every shelf's sub-taskset passes a 1D bound (DP/GN1/GN2/portfolio):
+then every shelf is schedulable in isolation, hence the whole system is.
+
+This is conservative twice over (vertical slack above ``h_shelf`` is
+wasted, and the partition is first-fit), but it is a *proof*, and it
+reduces to the paper's own global test when all heights equal the device
+height (one shelf).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.composite import paper_portfolio
+from repro.core.interfaces import PerTaskVerdict, SchedulerKind, TestResult
+from repro.fpga.device import Fpga
+from repro.fpga2d.device import Fpga2D
+from repro.fpga2d.model import Task2D, TaskSet2D
+from repro.model.task import Task, TaskSet
+
+#: 1D test applied per shelf.
+ShelfTest = Callable[[TaskSet, Fpga], TestResult]
+
+
+def necessary_conditions_2d(taskset: TaskSet2D, fpga: Fpga2D) -> TestResult:
+    """Obvious necessary conditions for any 2D scheduler."""
+    violations = []
+    for t in taskset:
+        if t.width > fpga.width or t.height > fpga.height:
+            violations.append(
+                PerTaskVerdict(t.name, False, detail="rectangle exceeds device")
+            )
+        if not t.feasible_alone:
+            violations.append(PerTaskVerdict(t.name, False, detail="C > D"))
+    us = taskset.system_utilization
+    if us > fpga.area:
+        violations.append(
+            PerTaskVerdict("*", False, us, fpga.area, "US exceeds total CLB area")
+        )
+    return TestResult(
+        "necessary-2d",
+        not violations,
+        frozenset(SchedulerKind),
+        tuple(violations),
+    )
+
+
+def _as_1d(task: Task2D) -> Task:
+    """A shelf-resident 2D task behaves as a 1D task of area ``width``."""
+    return Task(
+        wcet=task.wcet,
+        period=task.period,
+        deadline=task.deadline,
+        area=task.width,
+        name=task.name,
+    )
+
+
+def shelf_test(
+    taskset: TaskSet2D,
+    fpga: Fpga2D,
+    shelf_height: Optional[int] = None,
+    test_1d: Optional[ShelfTest] = None,
+) -> TestResult:
+    """Sufficient 2D schedulability via shelf decomposition (module docs).
+
+    ``shelf_height`` defaults to the tallest task (the minimum that fits
+    everything); ``test_1d`` defaults to the paper's EDF-NF portfolio.
+    Returns acceptance iff a first-fit partition of the tasks over the
+    shelves exists in which every shelf passes the 1D test.
+    """
+    nec = necessary_conditions_2d(taskset, fpga)
+    if not nec.accepted:
+        return TestResult("shelf", False, nec.schedulers, nec.per_task,
+                          "necessary conditions failed")
+    h_shelf = shelf_height if shelf_height is not None else taskset.max_height
+    if h_shelf < taskset.max_height:
+        return TestResult(
+            "shelf", False, frozenset(SchedulerKind),
+            reason=f"shelf height {h_shelf} below tallest task "
+                   f"({taskset.max_height})",
+        )
+    n_shelves = fpga.height // h_shelf
+    if n_shelves < 1:
+        return TestResult(
+            "shelf", False, frozenset(SchedulerKind),
+            reason=f"no shelf of height {h_shelf} fits in device height "
+                   f"{fpga.height}",
+        )
+    test = test_1d if test_1d is not None else paper_portfolio(SchedulerKind.EDF_NF)
+    shelf_fpga = Fpga(width=fpga.width)
+
+    shelves: List[List[Task]] = [[] for _ in range(n_shelves)]
+    # First-fit decreasing by system utilization: heavy tasks seed shelves.
+    order = sorted(taskset, key=lambda t: (-t.system_utilization, t.name))
+    for task in order:
+        placed = False
+        for shelf in shelves:
+            candidate = TaskSet(shelf + [_as_1d(task)])
+            if test(candidate, shelf_fpga).accepted:
+                shelf.append(_as_1d(task))
+                placed = True
+                break
+        if not placed:
+            return TestResult(
+                "shelf", False, frozenset(SchedulerKind),
+                per_task=(PerTaskVerdict(task.name, False,
+                                         detail="no shelf accepts this task"),),
+                reason="shelf partition failed",
+            )
+    verdicts: Tuple[PerTaskVerdict, ...] = tuple(
+        PerTaskVerdict(
+            f"shelf{idx}",
+            True,
+            detail=", ".join(t.name for t in shelf) or "(empty)",
+        )
+        for idx, shelf in enumerate(shelves)
+    )
+    return TestResult("shelf", True, frozenset(SchedulerKind), verdicts)

@@ -1,0 +1,30 @@
+"""The 2D reconfigurable device: a ``width x height`` CLB grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Fpga2D:
+    """A rectangular grid of CLBs, ``width`` columns by ``height`` rows.
+
+    The 1D model of the paper is the special case ``height == 1`` with
+    task heights 1 (or equivalently full-height tasks on any grid).
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        for name in ("width", "height"):
+            v = getattr(self, name)
+            if not isinstance(v, int) or isinstance(v, bool):
+                raise TypeError(f"{name} must be an int, got {v!r}")
+            if v < 1:
+                raise ValueError(f"{name} must be >= 1, got {v}")
+
+    @property
+    def area(self) -> int:
+        """Total CLB count ``width * height``."""
+        return self.width * self.height

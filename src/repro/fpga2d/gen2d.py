@@ -1,0 +1,84 @@
+"""Random rectangle-taskset generation for the 2D experiments.
+
+The 2D analogue of :mod:`repro.gen`: a declarative profile of rectangle
+and timing distributions, and a sampler.  The default profile is the
+"fragmentation-stress" shape used by the 2D example and bench: rectangles
+large enough relative to the device that geometry matters, constrained
+deadlines so blocked time is unforgiving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fpga2d.model import Task2D, TaskSet2D
+
+
+@dataclass(frozen=True)
+class GenerationProfile2D:
+    """Parameter box for random 2D taskset generation."""
+
+    n_tasks_min: int = 4
+    n_tasks_max: int = 7
+    side_min: int = 3
+    side_max: int = 8
+    period_min: float = 6.0
+    period_max: float = 14.0
+    #: deadline = period * U(deadline_factor_min, deadline_factor_max)
+    deadline_factor_min: float = 0.5
+    deadline_factor_max: float = 1.0
+    wcet_min: float = 2.0
+    wcet_max: float = 5.0
+    name: str = "fragmentation-stress"
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_tasks_min <= self.n_tasks_max:
+            raise ValueError("need 1 <= n_tasks_min <= n_tasks_max")
+        if not 1 <= self.side_min <= self.side_max:
+            raise ValueError("need 1 <= side_min <= side_max")
+        if not 0 < self.period_min <= self.period_max:
+            raise ValueError("need 0 < period_min <= period_max")
+        if not 0 < self.deadline_factor_min <= self.deadline_factor_max <= 1:
+            raise ValueError("need 0 < df_min <= df_max <= 1")
+        if not 0 < self.wcet_min <= self.wcet_max:
+            raise ValueError("need 0 < wcet_min <= wcet_max")
+
+
+def generate_taskset_2d(
+    profile: GenerationProfile2D, rng: np.random.Generator
+) -> TaskSet2D:
+    """One random rectangle taskset from ``profile``.
+
+    WCETs are clamped to the drawn deadline so every task is feasible in
+    isolation (the interesting failures are geometric, not per-task).
+    """
+    n = int(rng.integers(profile.n_tasks_min, profile.n_tasks_max + 1))
+    tasks = []
+    for i in range(n):
+        period = float(rng.uniform(profile.period_min, profile.period_max))
+        deadline = period * float(
+            rng.uniform(profile.deadline_factor_min, profile.deadline_factor_max)
+        )
+        wcet = min(deadline, float(rng.uniform(profile.wcet_min, profile.wcet_max)))
+        tasks.append(
+            Task2D(
+                wcet=wcet,
+                period=period,
+                deadline=deadline,
+                width=int(rng.integers(profile.side_min, profile.side_max + 1)),
+                height=int(rng.integers(profile.side_min, profile.side_max + 1)),
+                name=f"t{i}",
+            )
+        )
+    return TaskSet2D(tasks)
+
+
+def generate_tasksets_2d(
+    profile: GenerationProfile2D, count: int, rng: np.random.Generator
+) -> list[TaskSet2D]:
+    """``count`` independent rectangle tasksets."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    return [generate_taskset_2d(profile, rng) for _ in range(count)]

@@ -1,0 +1,102 @@
+"""2D hardware tasks: ``(C, D, T, w, h)``.
+
+A 2D task occupies a ``w x h`` rectangle of CLBs while executing.  The
+timing model is unchanged from the 1D paper (§2); only the spatial
+demand gains a dimension.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from numbers import Real
+from typing import Iterable, Iterator, Sequence
+
+from repro.util.mathutil import exact_div
+
+_name_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Task2D:
+    """One sporadic/periodic task occupying a ``width x height`` rectangle."""
+
+    wcet: Real
+    period: Real
+    deadline: Real = None  # type: ignore[assignment]
+    width: int = 1
+    height: int = 1
+    name: str = field(default_factory=lambda: f"tau2d{next(_name_counter)}")
+
+    def __post_init__(self) -> None:
+        if self.deadline is None:
+            object.__setattr__(self, "deadline", self.period)
+        if self.wcet <= 0 or self.period <= 0 or self.deadline <= 0:
+            raise ValueError(f"task {self.name!r}: C, T, D must be > 0")
+        for dim in ("width", "height"):
+            v = getattr(self, dim)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                raise ValueError(f"task {self.name!r}: {dim} must be an int >= 1")
+
+    @property
+    def footprint(self) -> int:
+        """CLBs occupied: ``w * h``."""
+        return self.width * self.height
+
+    @property
+    def time_utilization(self) -> Real:
+        return exact_div(self.wcet, self.period)
+
+    @property
+    def system_utilization(self) -> Real:
+        """``C * w * h / T`` — the 2D analogue of the paper's ``US``."""
+        return exact_div(self.wcet * self.footprint, self.period)
+
+    @property
+    def feasible_alone(self) -> bool:
+        return self.wcet <= self.deadline
+
+
+class TaskSet2D(Sequence[Task2D]):
+    """Immutable ordered collection of :class:`Task2D`."""
+
+    __slots__ = ("_tasks",)
+
+    def __init__(self, tasks: Iterable[Task2D]):
+        self._tasks = tuple(tasks)
+        if not self._tasks:
+            raise ValueError("taskset must contain at least one task")
+        names = [t.name for t in self._tasks]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate task names in 2D taskset")
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TaskSet2D(self._tasks[index])
+        return self._tasks[index]
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task2D]:
+        return iter(self._tasks)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TaskSet2D):
+            return NotImplemented
+        return self._tasks == other._tasks
+
+    def __hash__(self) -> int:
+        return hash(self._tasks)
+
+    @property
+    def system_utilization(self) -> Real:
+        return sum(t.system_utilization for t in self._tasks)
+
+    @property
+    def max_height(self) -> int:
+        return max(t.height for t in self._tasks)
+
+    @property
+    def max_width(self) -> int:
+        return max(t.width for t in self._tasks)

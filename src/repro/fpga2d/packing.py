@@ -1,0 +1,139 @@
+"""Online 2D rectangle placement with the bottom-left heuristic.
+
+The §7 problem in its purest form: given already-placed rectangles, find
+a position for a new ``w x h`` rectangle, or report that fragmentation
+blocks it even though total free area would suffice.
+
+Bottom-left (BL) placement: among all feasible positions, choose the one
+with the lowest y, breaking ties by lowest x.  Candidate positions are
+restricted — classically and without loss for BL — to the origin and the
+top-left / bottom-right corners of placed rectangles.  Placement cost is
+O(n^2) per request with n concurrent rectangles, which is ample for
+taskset-sized n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.fpga2d.device import Fpga2D
+
+
+@dataclass(frozen=True)
+class PlacedRect:
+    """A placed rectangle: origin (x, y), size (w, h), bound to ``key``."""
+
+    key: object
+    x: int
+    y: int
+    w: int
+    h: int
+
+    @property
+    def x2(self) -> int:
+        return self.x + self.w
+
+    @property
+    def y2(self) -> int:
+        return self.y + self.h
+
+    def overlaps(self, other: "PlacedRect") -> bool:
+        return not (
+            self.x2 <= other.x
+            or other.x2 <= self.x
+            or self.y2 <= other.y
+            or other.y2 <= self.y
+        )
+
+
+class PackingError(RuntimeError):
+    """Raised on misuse (double-place, unknown key, overlap)."""
+
+
+class BottomLeftPacker:
+    """Mutable placement state for one 2D device."""
+
+    def __init__(self, fpga: Fpga2D):
+        self._fpga = fpga
+        self._placed: Dict[object, PlacedRect] = {}
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def placed(self) -> List[PlacedRect]:
+        return list(self._placed.values())
+
+    @property
+    def used_area(self) -> int:
+        return sum(r.w * r.h for r in self._placed.values())
+
+    @property
+    def free_area(self) -> int:
+        return self._fpga.area - self.used_area
+
+    def rect_of(self, key: object) -> Optional[PlacedRect]:
+        return self._placed.get(key)
+
+    def fits_at(self, x: int, y: int, w: int, h: int) -> bool:
+        """Feasibility of placing a ``w x h`` rect with origin (x, y)."""
+        if x < 0 or y < 0 or x + w > self._fpga.width or y + h > self._fpga.height:
+            return False
+        probe = PlacedRect(None, x, y, w, h)
+        return not any(probe.overlaps(r) for r in self._placed.values())
+
+    def find_position(self, w: int, h: int) -> Optional[Tuple[int, int]]:
+        """Bottom-left position for a ``w x h`` rectangle, or ``None``."""
+        if w < 1 or h < 1:
+            raise PackingError(f"rectangle dimensions must be >= 1, got {w}x{h}")
+        candidates = {(0, 0)}
+        for r in self._placed.values():
+            candidates.add((r.x2, r.y))  # right of r
+            candidates.add((r.x, r.y2))  # on top of r
+        best: Optional[Tuple[int, int]] = None
+        for x, y in sorted(candidates, key=lambda p: (p[1], p[0])):
+            if self.fits_at(x, y, w, h):
+                best = (x, y)
+                break
+        return best
+
+    # -- mutations ---------------------------------------------------------
+
+    def place(self, key: object, w: int, h: int) -> Optional[PlacedRect]:
+        """Place via bottom-left; returns ``None`` when nothing fits."""
+        if key in self._placed:
+            raise PackingError(f"key {key!r} already placed")
+        pos = self.find_position(w, h)
+        if pos is None:
+            return None
+        return self.place_at(key, pos[0], pos[1], w, h)
+
+    def place_at(self, key: object, x: int, y: int, w: int, h: int) -> PlacedRect:
+        """Place at an explicit origin (raises unless feasible)."""
+        if key in self._placed:
+            raise PackingError(f"key {key!r} already placed")
+        if not self.fits_at(x, y, w, h):
+            raise PackingError(f"cannot place {w}x{h} at ({x},{y})")
+        rect = PlacedRect(key, x, y, w, h)
+        self._placed[key] = rect
+        return rect
+
+    def release(self, key: object) -> None:
+        if key not in self._placed:
+            raise PackingError(f"no placement for key {key!r}")
+        del self._placed[key]
+
+    def clear(self) -> None:
+        self._placed.clear()
+
+    def check_invariants(self) -> None:
+        """No overlap; everything in bounds."""
+        rects = list(self._placed.values())
+        for r in rects:
+            assert 0 <= r.x and 0 <= r.y, f"{r} has negative origin"
+            assert r.x2 <= self._fpga.width and r.y2 <= self._fpga.height, (
+                f"{r} exceeds device bounds"
+            )
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                assert not a.overlaps(b), f"{a} overlaps {b}"

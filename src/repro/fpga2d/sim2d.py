@@ -1,0 +1,211 @@
+"""Event-driven simulation of EDF scheduling on a 2D device.
+
+Mirrors :mod:`repro.sim.simulator` with rectangle placement instead of
+contiguous columns.  Two fit rules expose the §7 fragmentation question:
+
+* :attr:`FitRule.AREA` — optimistic: a job fits iff total free CLB area
+  suffices (the naive generalization of the paper's 1D free-migration
+  assumption — NOT sound for 2D, as the paper itself warns);
+* :attr:`FitRule.PACKED` — realistic: a job needs an actual rectangle,
+  found by bottom-left packing (jobs keep their rectangle while running,
+  re-pack when dispatched).
+
+Measured acceptance under AREA minus acceptance under PACKED == the 2D
+fragmentation effect the paper plans to study.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from numbers import Real
+from typing import Dict, List, Optional, Tuple
+
+from repro.fpga2d.device import Fpga2D
+from repro.fpga2d.model import Task2D, TaskSet2D
+from repro.fpga2d.packing import BottomLeftPacker
+from repro.util.mathutil import TIME_EPS
+
+
+class FitRule(enum.Enum):
+    """How the dispatcher decides whether a job fits (see module docs)."""
+
+    AREA = "area"
+    PACKED = "packed"
+
+
+@dataclass
+class _Job2D:
+    task: Task2D
+    release: Real
+    index: int
+    remaining: Real
+
+    @property
+    def absolute_deadline(self) -> Real:
+        return self.release + self.task.deadline
+
+    @property
+    def jid(self) -> str:
+        return f"{self.task.name}#{self.index}"
+
+    @property
+    def sort_key(self):
+        return (self.absolute_deadline, self.release, self.task.name, self.index)
+
+
+@dataclass(frozen=True)
+class Miss2D:
+    task: str
+    job_index: int
+    deadline: Real
+
+
+@dataclass
+class Simulation2DResult:
+    schedulable: bool
+    misses: List[Miss2D]
+    jobs_released: int
+    jobs_completed: int
+    busy_area_time: Real
+    #: jobs that changed rectangle between dispatches (PACKED rule only)
+    migrations: int
+
+    def __bool__(self) -> bool:
+        return self.schedulable
+
+
+def simulate_2d(
+    taskset: TaskSet2D,
+    fpga: Fpga2D,
+    horizon: Real,
+    *,
+    fit_rule: FitRule = FitRule.PACKED,
+    skip_blocked: bool = True,
+    stop_at_first_miss: bool = True,
+    max_events: int = 1_000_000,
+    eps: float = TIME_EPS,
+) -> Simulation2DResult:
+    """Simulate synchronous periodic EDF on a 2D device over ``[0, horizon)``.
+
+    ``skip_blocked=True`` is EDF-NF-2D (greedy over the deadline-ordered
+    queue); ``False`` is EDF-FkF-2D (prefix rule).
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be > 0")
+    for t in taskset:
+        if t.width > fpga.width or t.height > fpga.height:
+            # never placeable: certain miss at its first deadline
+            pass
+
+    next_release: Dict[str, Real] = {t.name: 0 for t in taskset}
+    counters: Dict[str, int] = {t.name: 0 for t in taskset}
+    active: List[_Job2D] = []
+    missed: set[str] = set()
+    last_rect: Dict[str, Tuple[int, int]] = {}
+    misses: List[Miss2D] = []
+    released = completed = migrations = 0
+    busy: Real = 0
+    now: Real = 0
+
+    def release_due(now: Real) -> None:
+        nonlocal released
+        for t in taskset:
+            while next_release[t.name] <= now + eps and next_release[t.name] < horizon:
+                active.append(
+                    _Job2D(t, next_release[t.name], counters[t.name], t.wcet)
+                )
+                counters[t.name] += 1
+                released += 1
+                next_release[t.name] = next_release[t.name] + t.period
+
+    def select(now: Real) -> List[_Job2D]:
+        nonlocal migrations
+        ordered = sorted(active, key=lambda j: j.sort_key)
+        running: List[_Job2D] = []
+        if fit_rule is FitRule.AREA:
+            used = 0
+            for job in ordered:
+                if used + job.task.footprint <= fpga.area:
+                    running.append(job)
+                    used += job.task.footprint
+                elif not skip_blocked:
+                    break
+            return running
+        packer = BottomLeftPacker(fpga)
+        for job in ordered:
+            w, h = job.task.width, job.task.height
+            placed = False
+            prev = last_rect.get(job.jid)
+            if prev is not None and packer.fits_at(prev[0], prev[1], w, h):
+                packer.place_at(job.jid, prev[0], prev[1], w, h)
+                placed = True
+                pos = prev
+            else:
+                rect = packer.place(job.jid, w, h)
+                if rect is not None:
+                    placed = True
+                    pos = (rect.x, rect.y)
+                    if prev is not None and prev != pos:
+                        migrations += 1
+            if placed:
+                running.append(job)
+                last_rect[job.jid] = pos
+            elif not skip_blocked:
+                break
+        return running
+
+    release_due(now)
+    events = 0
+    while True:
+        events += 1
+        if events > max_events:
+            raise RuntimeError(f"2D simulation exceeded {max_events} events at t={now}")
+        running = select(now)
+
+        t_next: Real = horizon
+        pending = [r for r in next_release.values() if r < horizon]
+        if pending:
+            t_next = min(t_next, min(pending))
+        for job in running:
+            completion = now + job.remaining
+            if completion < t_next:
+                t_next = completion
+        for job in active:
+            if job.jid in missed:
+                continue
+            d = job.absolute_deadline
+            if now + eps < d < t_next:
+                t_next = d
+
+        dt = t_next - now
+        if dt > 0:
+            for job in running:
+                job.remaining = job.remaining - dt
+            busy = busy + sum(j.task.footprint for j in running) * dt
+        now = t_next
+
+        for job in [j for j in running if j.remaining <= eps]:
+            active.remove(job)
+            completed += 1
+            last_rect.pop(job.jid, None)
+        for job in active:
+            if job.jid in missed:
+                continue
+            if job.absolute_deadline <= now + eps and job.remaining > eps:
+                missed.add(job.jid)
+                misses.append(Miss2D(job.task.name, job.index, job.absolute_deadline))
+        if misses and stop_at_first_miss:
+            break
+        if now >= horizon - eps:
+            break
+        release_due(now)
+
+    return Simulation2DResult(
+        schedulable=not misses,
+        misses=misses,
+        jobs_released=released,
+        jobs_completed=completed,
+        busy_area_time=busy,
+        migrations=migrations,
+    )

@@ -1,0 +1,41 @@
+"""Synthetic taskset generation (paper §6).
+
+The paper evaluates the bounds on randomly generated tasksets: device of
+100 columns, areas uniform in {1..100}, periods uniform in (5,20),
+implicit deadlines, execution time = period x random factor.  Figure 4
+constrains the distributions to spatially/temporally heavy/light mixes.
+
+* :mod:`repro.gen.profiles` — declarative generation profiles, including
+  the four named by the paper's figures.
+* :mod:`repro.gen.random_tasksets` — draw tasksets from a profile.
+* :mod:`repro.gen.uunifast` — the UUniFast / UUniFast-discard utilization
+  partitioners (standard in this literature) as an alternative to the
+  paper's independent-factor recipe.
+* :mod:`repro.gen.sweep` — hit exact system-utilization targets for
+  acceptance-ratio curves.
+"""
+
+from repro.gen.profiles import (
+    GenerationProfile,
+    paper_unconstrained,
+    spatially_heavy_temporally_light,
+    spatially_light_temporally_heavy,
+)
+from repro.gen.random_tasksets import generate_taskset, generate_tasksets
+from repro.gen.randfixedsum import randfixedsum
+from repro.gen.sweep import generate_at_system_utilization, utilization_grid
+from repro.gen.uunifast import uunifast, uunifast_discard
+
+__all__ = [
+    "GenerationProfile",
+    "paper_unconstrained",
+    "spatially_heavy_temporally_light",
+    "spatially_light_temporally_heavy",
+    "generate_taskset",
+    "generate_tasksets",
+    "generate_at_system_utilization",
+    "utilization_grid",
+    "randfixedsum",
+    "uunifast",
+    "uunifast_discard",
+]

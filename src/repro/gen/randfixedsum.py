@@ -1,0 +1,75 @@
+"""Stafford's RandFixedSum: uniform utilization vectors with a fixed sum.
+
+UUniFast-discard gets painfully slow when the target sum approaches
+``n * cap`` (almost every sample has an over-cap component).  Stafford's
+RandFixedSum draws uniformly from the simplex slice
+``{u in [0, cap]^n : sum(u) = s}`` directly, with no rejection — the
+generator of choice in the modern multiprocessor-schedulability
+literature (Emberson et al., WATERS'10).
+
+This is a numpy port of Roger Stafford's MATLAB ``randfixedsum`` (single
+sample per call), restricted to equal per-component caps.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def randfixedsum(
+    n: int, u_total: float, rng: np.random.Generator, u_cap: float = 1.0
+) -> List[float]:
+    """One vector of ``n`` utilizations in ``[0, u_cap]`` summing to
+    ``u_total``, uniformly distributed over that simplex slice."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if u_cap <= 0:
+        raise ValueError("u_cap must be > 0")
+    if not 0 < u_total <= n * u_cap:
+        raise ValueError(f"u_total must be in (0, {n * u_cap}]")
+    if n == 1:
+        return [u_total]
+    s = u_total / u_cap
+
+    # Build the probability table w (simplex volumes) and transition t.
+    k = int(np.floor(s))
+    k = max(min(k, n - 1), 0)
+    s = max(min(s, float(n)), 0.0)
+    s1 = s - np.arange(k, k - n, -1.0)
+    s2 = np.arange(k + n, k, -1.0) - s
+
+    tiny = np.finfo(float).tiny
+    huge = np.finfo(float).max
+    w = np.zeros((n, n + 1))
+    w[0, 1] = huge
+    t = np.zeros((n - 1, n))
+    for i in range(2, n + 1):
+        tmp1 = w[i - 2, 1 : i + 1] * s1[:i] / i
+        tmp2 = w[i - 2, 0:i] * s2[n - i : n] / i
+        w[i - 1, 1 : i + 1] = tmp1 + tmp2
+        tmp3 = w[i - 1, 1 : i + 1] + tiny
+        tmp4 = s2[n - i : n] > s1[:i]
+        t[i - 2, 0:i] = (tmp2 / tmp3) * tmp4 + (1.0 - tmp1 / tmp3) * (~tmp4)
+
+    # Walk the table once to draw one point uniformly from the slice.
+    x = np.zeros(n)
+    rt = rng.random(n - 1)  # which simplex region
+    rs = rng.random(n - 1)  # position within the region
+    j = k + 1
+    remaining = s
+    sm = 0.0
+    pr = 1.0
+    for i in range(n - 1, 0, -1):
+        e = 1.0 if rt[n - i - 1] <= t[i - 1, j - 1] else 0.0
+        sx = rs[n - i - 1] ** (1.0 / i)
+        sm += (1.0 - sx) * pr * remaining / (i + 1)
+        pr *= sx
+        x[n - i - 1] = sm + pr * e
+        remaining -= e
+        j -= int(e)
+    x[n - 1] = sm + pr * remaining
+
+    rng.shuffle(x)  # the walk is ordered; permute for exchangeability
+    return [float(v * u_cap) for v in x]

@@ -1,0 +1,27 @@
+"""Hardware task model: tasks, tasksets and runtime jobs."""
+
+from repro.model.task import Task, TaskSet
+from repro.model.job import Job
+from repro.model.io import load_taskset, save_taskset, taskset_from_dict, taskset_to_dict
+from repro.model.validation import (
+    ModelError,
+    TaskParameterError,
+    TaskSetError,
+    validate_task,
+    validate_taskset,
+)
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "Job",
+    "load_taskset",
+    "save_taskset",
+    "taskset_from_dict",
+    "taskset_to_dict",
+    "ModelError",
+    "TaskParameterError",
+    "TaskSetError",
+    "validate_task",
+    "validate_taskset",
+]

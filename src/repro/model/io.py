@@ -1,0 +1,118 @@
+"""JSON (de)serialization of tasksets and devices.
+
+Experiment pipelines need durable workload artifacts: a taskset drawn
+today must be re-loadable bit-exactly next week.  Numbers serialize
+loss-lessly: ints as ints, Fractions as ``"p/q"`` strings, floats via
+``float.hex`` round-trip (decimal repr would silently perturb knife-edge
+cases like the paper's Table 1).
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from numbers import Real
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.fpga.device import Fpga, StaticRegion
+from repro.model.task import Task, TaskSet
+
+FORMAT_VERSION = 1
+
+
+def _encode_number(x: Real) -> Union[int, str, Dict[str, str]]:
+    if isinstance(x, bool):  # pragma: no cover - validation rejects bools
+        raise TypeError("bool is not a task parameter")
+    if isinstance(x, int):
+        return x
+    if isinstance(x, Fraction):
+        return f"{x.numerator}/{x.denominator}"
+    if isinstance(x, float):
+        return {"float": x.hex()}
+    raise TypeError(f"cannot serialize number of type {type(x).__name__}")
+
+
+def _decode_number(obj: Any) -> Real:
+    if isinstance(obj, bool):
+        raise ValueError("bool is not a valid task parameter")
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, str):
+        num, _, den = obj.partition("/")
+        return Fraction(int(num), int(den or "1"))
+    if isinstance(obj, dict) and "float" in obj:
+        return float.fromhex(obj["float"])
+    raise ValueError(f"cannot decode number from {obj!r}")
+
+
+def task_to_dict(task: Task) -> Dict[str, Any]:
+    """JSON-ready dict for one task (numbers encoded losslessly)."""
+    return {
+        "name": task.name,
+        "wcet": _encode_number(task.wcet),
+        "period": _encode_number(task.period),
+        "deadline": _encode_number(task.deadline),
+        "area": _encode_number(task.area),
+    }
+
+
+def task_from_dict(data: Dict[str, Any]) -> Task:
+    """Inverse of :func:`task_to_dict`."""
+    return Task(
+        wcet=_decode_number(data["wcet"]),
+        period=_decode_number(data["period"]),
+        deadline=_decode_number(data["deadline"]),
+        area=_decode_number(data["area"]),
+        name=str(data["name"]),
+    )
+
+
+def taskset_to_dict(taskset: TaskSet) -> Dict[str, Any]:
+    """JSON-ready dict for a whole taskset (versioned)."""
+    return {
+        "format": FORMAT_VERSION,
+        "tasks": [task_to_dict(t) for t in taskset],
+    }
+
+
+def taskset_from_dict(data: Dict[str, Any]) -> TaskSet:
+    """Inverse of :func:`taskset_to_dict` (validates the format version)."""
+    version = data.get("format", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported taskset format version {version}")
+    return TaskSet(task_from_dict(d) for d in data["tasks"])
+
+
+def fpga_to_dict(fpga: Fpga) -> Dict[str, Any]:
+    """JSON-ready dict for a device (width + static regions)."""
+    return {
+        "format": FORMAT_VERSION,
+        "width": fpga.width,
+        "static_regions": [
+            {"start": r.start, "width": r.width} for r in fpga.static_regions
+        ],
+    }
+
+
+def fpga_from_dict(data: Dict[str, Any]) -> Fpga:
+    """Inverse of :func:`fpga_to_dict`."""
+    return Fpga(
+        width=int(data["width"]),
+        static_regions=tuple(
+            StaticRegion(int(r["start"]), int(r["width"]))
+            for r in data.get("static_regions", [])
+        ),
+    )
+
+
+def save_taskset(taskset: TaskSet, path: Union[str, Path]) -> None:
+    """Write a taskset to a JSON file (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(taskset_to_dict(taskset), indent=2))
+
+
+def load_taskset(path: Union[str, Path]) -> TaskSet:
+    """Read a taskset previously written by :func:`save_taskset`."""
+    return taskset_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,83 @@
+"""Runtime job instances ``J_k^j`` of a task (paper §2).
+
+A :class:`Job` is one invocation of a :class:`~repro.model.task.Task`: it
+is released at ``release``, must finish ``task.wcet`` units of work by
+``release + task.deadline``, and occupies ``task.area`` columns whenever it
+executes.  Jobs are mutable simulation state (remaining work, placement);
+the immutable parameters live on the task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from numbers import Real
+from typing import Optional
+
+from repro.model.task import Task
+
+
+@dataclass
+class Job:
+    """One released instance of a task.
+
+    Ordering follows the EDF queue discipline of the paper (§1, Defs 1-2):
+    non-decreasing absolute deadline, ties broken by release time, then by
+    task name for full determinism.
+    """
+
+    task: Task
+    release: Real
+    index: int = 0  # j-th job of its task, 0-based
+    remaining: Real = field(default=None)  # type: ignore[assignment]
+    #: Leftmost column of the current placement, when a placement-aware
+    #: simulation mode is active; ``None`` while unplaced / migratable.
+    position: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.remaining is None:
+            self.remaining = self.task.wcet
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def absolute_deadline(self) -> Real:
+        """``d_k^j = r_k^j + D_k``."""
+        return self.release + self.task.deadline
+
+    @property
+    def area(self) -> Real:
+        """Columns occupied while executing (``A_k``)."""
+        return self.task.area
+
+    @property
+    def completed(self) -> bool:
+        return self.remaining <= 0
+
+    @property
+    def executed(self) -> Real:
+        """Work done so far (``C_k -`` remaining)."""
+        return self.task.wcet - self.remaining
+
+    def laxity_at(self, now: Real) -> Real:
+        """Dynamic laxity ``(d - now) - remaining`` at time ``now``.
+
+        Negative laxity means the deadline can no longer be met even with
+        continuous execution from ``now`` on.
+        """
+        return (self.absolute_deadline - now) - self.remaining
+
+    # -- EDF ordering -----------------------------------------------------------
+
+    @property
+    def sort_key(self):
+        """Queue key: (absolute deadline, release, task name, index)."""
+        return (self.absolute_deadline, self.release, self.task.name, self.index)
+
+    def __lt__(self, other: "Job") -> bool:
+        return self.sort_key < other.sort_key
+
+    def __repr__(self) -> str:
+        return (
+            f"Job({self.task.name}#{self.index}, r={self.release}, "
+            f"d={self.absolute_deadline}, rem={self.remaining}, A={self.area})"
+        )

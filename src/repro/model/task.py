@@ -1,0 +1,297 @@
+"""Sporadic/periodic hardware tasks and tasksets (paper §2).
+
+A hardware task on a 1D reconfigurable FPGA is characterized by
+``tau_k = (C_k, D_k, T_k, A_k)``:
+
+* ``C`` — worst-case execution time (:attr:`Task.wcet`);
+* ``D`` — relative deadline (:attr:`Task.deadline`);
+* ``T`` — period / minimum inter-arrival time (:attr:`Task.period`);
+* ``A`` — area, the number of contiguous FPGA columns it occupies
+  (:attr:`Task.area`).
+
+Two utilization notions exist because a task occupies area *and* time
+(paper §2):
+
+* time utilization   ``UT(tau) = C/T``,   ``UT(Gamma) = sum C_i/T_i``;
+* system utilization ``US(tau) = C*A/T``, ``US(Gamma) = sum C_i*A_i/T_i``.
+
+All arithmetic is pure Python so parameters may be ``int``, ``float`` or
+``fractions.Fraction`` — the worked-example regression tests rely on exact
+rationals.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from numbers import Real
+from typing import Callable, Iterable, Iterator, Sequence, overload
+
+_name_counter = itertools.count(1)
+
+
+def _default_name() -> str:
+    return f"tau{next(_name_counter)}"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One sporadic/periodic hardware task ``(C, D, T, A)``.
+
+    ``deadline`` defaults to ``period`` (implicit deadline), matching the
+    paper's experimental setup (§6: "each task's deadline is equal to its
+    period").
+
+    Instances are immutable and hashable; derive modified copies with
+    :meth:`scaled` / :meth:`with_area` / ``dataclasses.replace``.
+    """
+
+    wcet: Real
+    period: Real
+    deadline: Real = None  # type: ignore[assignment]  # defaulted to period in __post_init__
+    area: Real = 1
+    name: str = field(default_factory=_default_name)
+
+    def __post_init__(self) -> None:
+        if self.deadline is None:
+            object.__setattr__(self, "deadline", self.period)
+        # Import here to avoid a module cycle (validation type-hints Task).
+        from repro.model.validation import validate_task
+
+        validate_task(self)
+
+    # -- utilization / density -------------------------------------------------
+
+    @property
+    def time_utilization(self) -> Real:
+        """``UT(tau) = C/T`` — fraction of time the task needs."""
+        return _div(self.wcet, self.period)
+
+    @property
+    def system_utilization(self) -> Real:
+        """``US(tau) = C*A/T`` — area-weighted utilization."""
+        return _div(self.wcet * self.area, self.period)
+
+    @property
+    def density(self) -> Real:
+        """``C/D`` — demand density over the deadline window."""
+        return _div(self.wcet, self.deadline)
+
+    @property
+    def laxity(self) -> Real:
+        """``D - C`` — slack available for interference."""
+        return self.deadline - self.wcet
+
+    # -- structural predicates ---------------------------------------------------
+
+    @property
+    def implicit_deadline(self) -> bool:
+        """True when ``D == T``."""
+        return self.deadline == self.period
+
+    @property
+    def constrained_deadline(self) -> bool:
+        """True when ``D <= T``."""
+        return self.deadline <= self.period
+
+    @property
+    def has_integral_area(self) -> bool:
+        """True when the area is a whole number of columns (paper §3)."""
+        return self.area == int(self.area)
+
+    @property
+    def feasible_alone(self) -> bool:
+        """True when the task could meet its deadline running unimpeded."""
+        return self.wcet <= self.deadline
+
+    # -- derivation helpers --------------------------------------------------
+
+    def scaled(self, time_factor: Real = 1, area_factor: Real = 1) -> "Task":
+        """Return a copy with ``wcet`` scaled by ``time_factor`` and
+        ``area`` scaled by ``area_factor`` (deadline/period unchanged)."""
+        return replace(self, wcet=self.wcet * time_factor, area=self.area * area_factor)
+
+    def with_area(self, area: Real) -> "Task":
+        """Return a copy with a different area."""
+        return replace(self, area=area)
+
+    def with_wcet(self, wcet: Real) -> "Task":
+        """Return a copy with a different worst-case execution time."""
+        return replace(self, wcet=wcet)
+
+    def as_fractions(self, max_denominator: int | None = None) -> "Task":
+        """Return a copy with all parameters converted to exact
+        :class:`fractions.Fraction` values (floats via ``Fraction(str(x))``
+        style limiting when ``max_denominator`` is given)."""
+
+        def conv(x: Real) -> Fraction:
+            f = Fraction(x)
+            if max_denominator is not None:
+                f = f.limit_denominator(max_denominator)
+            return f
+
+        return replace(
+            self,
+            wcet=conv(self.wcet),
+            period=conv(self.period),
+            deadline=conv(self.deadline),
+            area=conv(self.area),
+        )
+
+    def __repr__(self) -> str:  # compact, paper-style
+        return (
+            f"Task(C={self.wcet}, D={self.deadline}, T={self.period}, "
+            f"A={self.area}, name={self.name!r})"
+        )
+
+
+def _div(num: Real, den: Real):
+    """Division that preserves exactness for int/Fraction operands."""
+    if isinstance(num, float) or isinstance(den, float):
+        return num / den
+    return Fraction(num) / Fraction(den)
+
+
+class TaskSet(Sequence[Task]):
+    """An immutable ordered collection of :class:`Task`.
+
+    Provides the aggregate quantities used throughout the paper:
+    ``UT(Gamma)``, ``US(Gamma)``, ``Amax``, ``Amin``.
+    """
+
+    __slots__ = ("_tasks",)
+
+    def __init__(self, tasks: Iterable[Task]):
+        self._tasks: tuple[Task, ...] = tuple(tasks)
+        from repro.model.validation import validate_taskset
+
+        validate_taskset(self)
+
+    # -- Sequence protocol --------------------------------------------------
+
+    @overload
+    def __getitem__(self, index: int) -> Task: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "TaskSet": ...
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TaskSet(self._tasks[index])
+        return self._tasks[index]
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskSet):
+            return NotImplemented
+        return self._tasks == other._tasks
+
+    def __hash__(self) -> int:
+        return hash(self._tasks)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self._tasks)
+        return f"TaskSet([{inner}])"
+
+    # -- aggregates (paper §2) ------------------------------------------------
+
+    @property
+    def time_utilization(self) -> Real:
+        """``UT(Gamma) = sum_i C_i/T_i``."""
+        return sum(t.time_utilization for t in self._tasks)
+
+    @property
+    def system_utilization(self) -> Real:
+        """``US(Gamma) = sum_i C_i*A_i/T_i``."""
+        return sum(t.system_utilization for t in self._tasks)
+
+    @property
+    def max_area(self) -> Real:
+        """``Amax`` — the largest area of any task in the set."""
+        return max(t.area for t in self._tasks)
+
+    @property
+    def min_area(self) -> Real:
+        """``Amin`` — the smallest area of any task in the set."""
+        return min(t.area for t in self._tasks)
+
+    @property
+    def max_wcet(self) -> Real:
+        return max(t.wcet for t in self._tasks)
+
+    @property
+    def max_period(self) -> Real:
+        return max(t.period for t in self._tasks)
+
+    @property
+    def max_deadline(self) -> Real:
+        return max(t.deadline for t in self._tasks)
+
+    @property
+    def all_implicit_deadline(self) -> bool:
+        return all(t.implicit_deadline for t in self._tasks)
+
+    @property
+    def all_constrained_deadline(self) -> bool:
+        return all(t.constrained_deadline for t in self._tasks)
+
+    @property
+    def all_integral_area(self) -> bool:
+        return all(t.has_integral_area for t in self._tasks)
+
+    @property
+    def all_feasible_alone(self) -> bool:
+        """True when every task satisfies ``C <= D``."""
+        return all(t.feasible_alone for t in self._tasks)
+
+    # -- derivation helpers ----------------------------------------------------
+
+    def map(self, fn: Callable[[Task], Task]) -> "TaskSet":
+        """Return a new taskset with ``fn`` applied to every task."""
+        return TaskSet(fn(t) for t in self._tasks)
+
+    def scaled(self, time_factor: Real = 1, area_factor: Real = 1) -> "TaskSet":
+        """Scale every task's wcet (and optionally area) by a factor."""
+        return self.map(lambda t: t.scaled(time_factor, area_factor))
+
+    def scaled_to_system_utilization(self, target: Real) -> "TaskSet":
+        """Rescale all execution times so ``US(Gamma) == target``.
+
+        Used by the figure experiments to hit utilization buckets exactly.
+        Raises :class:`ValueError` if the current utilization is zero.
+        """
+        current = self.system_utilization
+        if current == 0:
+            raise ValueError("cannot rescale a zero-utilization taskset")
+        return self.scaled(time_factor=_div(target, current))
+
+    def without(self, index: int) -> "TaskSet":
+        """Return a copy with the task at ``index`` removed."""
+        if not 0 <= index < len(self._tasks):
+            raise IndexError(index)
+        return TaskSet(self._tasks[:index] + self._tasks[index + 1 :])
+
+    def extended(self, tasks: Iterable[Task]) -> "TaskSet":
+        """Return a copy with ``tasks`` appended."""
+        return TaskSet(self._tasks + tuple(tasks))
+
+    def as_fractions(self, max_denominator: int | None = None) -> "TaskSet":
+        """Exact-rational copy of the whole set (see :meth:`Task.as_fractions`)."""
+        return self.map(lambda t: t.as_fractions(max_denominator))
+
+    def by_name(self, name: str) -> Task:
+        """Look a task up by name (raises :class:`KeyError` if absent)."""
+        for t in self._tasks:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    def sorted_by(self, key: Callable[[Task], Real], reverse: bool = False) -> "TaskSet":
+        """Return a copy sorted by ``key`` (stable)."""
+        return TaskSet(sorted(self._tasks, key=key, reverse=reverse))

@@ -1,0 +1,32 @@
+"""Identical-multiprocessor global-EDF baselines (the paper's lineage).
+
+The FPGA problem generalizes multiprocessor scheduling: a CPU task is a
+width-1 HW task and an ``m``-processor platform is a 1D device with
+``A(H) = m`` (paper §1).  This package implements the three utilization
+bound tests the paper's analysis descends from:
+
+* :func:`gfb_test`  — Goossens/Funk/Baruah (basis of DP),
+* :func:`bcl_test`  — Bertogna/Cirinei/Lipari (basis of GN1),
+* :func:`bak2_test` — Baker's busy-interval λ test (basis of GN2),
+
+plus the embedding helpers in :mod:`repro.mp.reductions` used by the
+cross-validation tests (unit-area FPGA tests must coincide with these).
+"""
+
+from repro.mp.gfb import gfb_test
+from repro.mp.bcl import bcl_test
+from repro.mp.bak2 import bak2_test
+from repro.mp.reductions import (
+    cpu_task,
+    platform_for,
+    as_unit_area_taskset,
+)
+
+__all__ = [
+    "gfb_test",
+    "bcl_test",
+    "bak2_test",
+    "cpu_task",
+    "platform_for",
+    "as_unit_area_taskset",
+]

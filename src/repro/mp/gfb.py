@@ -1,0 +1,57 @@
+"""GFB — Goossens, Funk & Baruah's global-EDF utilization bound.
+
+For implicit-deadline sporadic tasks on ``m`` identical processors,
+global EDF meets all deadlines if::
+
+    UT(Γ) <= m - (m - 1) * u_max      (equivalently, for every task k:
+    UT(Γ) <= m (1 - u_k) + u_k)
+
+This is the multiprocessor ancestor of the paper's DP test: substituting
+unit areas and ``A(H) = m`` into Theorem 1 recovers exactly this bound —
+a property the cross-validation tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.interfaces import PerTaskVerdict, SchedulerKind, TestResult
+from repro.model.task import TaskSet
+
+
+@dataclass(frozen=True)
+class GfbTest:
+    """GFB bound on ``processors`` identical CPUs."""
+
+    processors: int
+
+    name = "GFB"
+    schedulers = frozenset(SchedulerKind)  # FkF and NF coincide on CPUs
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("processors must be >= 1")
+
+    def __call__(self, taskset: TaskSet) -> TestResult:
+        m = self.processors
+        ut = taskset.time_utilization
+        verdicts = []
+        accepted = True
+        for t in taskset:
+            u_k = t.time_utilization
+            if u_k > 1:
+                verdicts.append(PerTaskVerdict(t.name, False, u_k, 1, "u_k > 1"))
+                accepted = False
+                continue
+            rhs = m * (1 - u_k) + u_k
+            ok = ut <= rhs
+            accepted &= ok
+            verdicts.append(
+                PerTaskVerdict(t.name, ok, ut, rhs, "UT(Γ) <= m(1-u_k) + u_k")
+            )
+        return TestResult(self.name, accepted, self.schedulers, tuple(verdicts))
+
+
+def gfb_test(taskset: TaskSet, processors: int) -> TestResult:
+    """Functional form of :class:`GfbTest`."""
+    return GfbTest(processors)(taskset)

@@ -1,0 +1,40 @@
+"""FPGA <-> multiprocessor embeddings (paper §1).
+
+"We can view multiprocessor scheduling as a special case of task
+scheduling on 1D reconfigurable FPGAs where all tasks have width equal
+to 1."  These helpers realize that embedding, and the test-suite uses
+them to assert the reduction identities:
+
+* DP  on unit-area tasks over ``Fpga(m)``  ==  GFB on ``m`` CPUs,
+* GN1 (window variant) likewise            ==  BCL,
+* GN2 likewise                             ==  BAK2.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+
+from repro.fpga.device import Fpga
+from repro.model.task import Task, TaskSet
+
+
+def cpu_task(
+    wcet: Real, period: Real, deadline: Real | None = None, name: str | None = None
+) -> Task:
+    """A software (CPU) task: a hardware task of width 1."""
+    kwargs = dict(wcet=wcet, period=period, deadline=deadline, area=1)
+    if name is not None:
+        kwargs["name"] = name
+    return Task(**kwargs)
+
+
+def platform_for(processors: int) -> Fpga:
+    """The 1D device equivalent of ``m`` identical processors."""
+    if processors < 1:
+        raise ValueError("processors must be >= 1")
+    return Fpga(width=processors)
+
+
+def as_unit_area_taskset(taskset: TaskSet) -> TaskSet:
+    """Flatten all areas to 1 (forget spatial demand, keep timing)."""
+    return taskset.map(lambda t: t.with_area(1))

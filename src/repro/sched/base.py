@@ -1,0 +1,57 @@
+"""Scheduler interface used by the discrete-event simulator.
+
+A scheduler contributes two ingredients (separated so the simulator can
+own placement):
+
+* :meth:`Scheduler.order` — the priority order of the active jobs
+  (paper: non-decreasing deadline, ties by release time);
+* :attr:`Scheduler.skip_blocked` — the fit discipline: ``False`` stops at
+  the first job that does not fit (First-k-Fit's prefix rule), ``True``
+  skips it and keeps trying later jobs (Next-Fit's greedy rule).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+from repro.core.interfaces import SchedulerKind
+from repro.model.job import Job
+
+
+class Scheduler(abc.ABC):
+    """Priority order + fit discipline for the simulator."""
+
+    #: Human-readable name for traces and reports.
+    name: str = "scheduler"
+    #: The paper's taxonomy slot, when the scheduler corresponds to one.
+    kind: Optional[SchedulerKind] = None
+    #: Greedy fit (EDF-NF) vs prefix fit (EDF-FkF).
+    skip_blocked: bool = False
+
+    @abc.abstractmethod
+    def order(self, jobs: Sequence[Job]) -> List[Job]:
+        """Return the active jobs in dispatch-priority order (highest first).
+
+        Must be a permutation of ``jobs`` and deterministic (total order).
+        """
+
+    def select(self, jobs: Sequence[Job], capacity) -> List[Job]:
+        """Pure capacity-check selection (the paper's free-migration model).
+
+        The simulator uses this in FREE mode; placement-aware modes replace
+        the area check with contiguous-hole placement but reuse
+        :meth:`order` and :attr:`skip_blocked`.
+        """
+        running: List[Job] = []
+        used = 0
+        for job in self.order(jobs):
+            if used + job.area <= capacity:
+                running.append(job)
+                used += job.area
+            elif not self.skip_blocked:
+                break
+        return running
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,31 @@
+"""EDF-First-k-Fit (paper Definition 1).
+
+"The scheduling algorithm EDF-FkF selects at any time the first k jobs R
+of Q for execution, with the largest k for which Σ_{Ji∈R} Ai <= A(H)."
+
+Since areas are positive the cumulative sum is strictly increasing, so the
+largest such prefix ends right before the first job that does not fit —
+a wide job at the queue head can therefore *block* narrower jobs behind
+it, which is exactly why EDF-NF dominates EDF-FkF (paper §1) and why
+Lemma 1 must use ``Amax``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.interfaces import SchedulerKind
+from repro.model.job import Job
+from repro.sched.base import Scheduler
+from repro.sched.edf_queue import edf_order
+
+
+class EdfFkf(Scheduler):
+    """Global EDF with prefix (first-k) fitting."""
+
+    name = "EDF-FkF"
+    kind = SchedulerKind.EDF_FKF
+    skip_blocked = False
+
+    def order(self, jobs: Sequence[Job]) -> List[Job]:
+        return edf_order(jobs)

@@ -1,0 +1,30 @@
+"""EDF-Next-Fit (paper Definition 2).
+
+"Start with an empty set R and visit all active jobs Ji in Q in order of
+non-decreasing deadlines.  Add Ji to R iff Σ_{Jk∈R∪Ji} Ak <= A(H)."
+
+Unlike EDF-FkF, a wide job that does not fit is *skipped* and the narrower
+jobs behind it may run — EDF-NF exploits idle area that FkF would waste,
+which is why it dominates FkF (any FkF-schedulable set is NF-schedulable,
+paper §1) and why Lemma 2 can use the waiting job's own ``A_k``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.interfaces import SchedulerKind
+from repro.model.job import Job
+from repro.sched.base import Scheduler
+from repro.sched.edf_queue import edf_order
+
+
+class EdfNf(Scheduler):
+    """Global EDF with greedy (next-fit) fitting."""
+
+    name = "EDF-NF"
+    kind = SchedulerKind.EDF_NF
+    skip_blocked = True
+
+    def order(self, jobs: Sequence[Job]) -> List[Job]:
+        return edf_order(jobs)

@@ -1,0 +1,17 @@
+"""The deadline-ordered ready queue ``Q`` (paper Definitions 1-2).
+
+"Let Q be the queue of all active jobs sorted by non-decreasing deadlines
+(sorted by release time in ties of deadlines)."  A final tie-break on task
+name/index makes the order total, so simulations are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.model.job import Job
+
+
+def edf_order(jobs: Sequence[Job]) -> List[Job]:
+    """Jobs sorted by (absolute deadline, release, task name, index)."""
+    return sorted(jobs)

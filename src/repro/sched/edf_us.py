@@ -1,0 +1,81 @@
+"""EDF-US[x] hybrid priority scheme (paper §7 future work).
+
+Srinivasan & Baruah's EDF-US[m/(2m-1)] gives tasks with utilization above
+a threshold *top* priority and schedules the rest in EDF order — it fixes
+global EDF's vulnerability to a few heavy tasks.  The paper suggests
+porting it to FPGAs and notes the notion of "heavy" may need to refer to
+*system* utilization (``C·A/T``, normalized by the device area) rather
+than time utilization; both interpretations are provided.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import List, Literal, Sequence
+
+from repro.model.job import Job
+from repro.sched.base import Scheduler
+
+
+def edf_us_threshold(m: int) -> Real:
+    """The classic multiprocessor threshold ``m / (2m - 1)``."""
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    from fractions import Fraction
+
+    return Fraction(m, 2 * m - 1)
+
+
+class EdfUs(Scheduler):
+    """EDF-US hybrid: heavy tasks first, then EDF; greedy or prefix fit.
+
+    Parameters
+    ----------
+    threshold:
+        Utilization cutoff above which a task counts as heavy.
+    heaviness:
+        ``"time"`` compares ``C/T`` against the threshold; ``"system"``
+        compares ``(C·A/T)/A(H)`` (the paper's suggested FPGA adaptation)
+        and then needs ``device_area``.
+    device_area:
+        Total device columns; required for ``heaviness="system"``.
+    fit:
+        ``"nf"`` (greedy, default) or ``"fkf"`` (prefix) — the same two
+        fitting disciplines as plain EDF.
+    """
+
+    kind = None  # hybrid: not one of the paper's two taxonomy slots
+
+    def __init__(
+        self,
+        threshold: Real,
+        heaviness: Literal["time", "system"] = "time",
+        device_area: int | None = None,
+        fit: Literal["nf", "fkf"] = "nf",
+    ):
+        if not 0 < threshold <= 1:
+            raise ValueError("threshold must be in (0, 1]")
+        if heaviness not in ("time", "system"):
+            raise ValueError(f"unknown heaviness {heaviness!r}")
+        if heaviness == "system" and device_area is None:
+            raise ValueError("heaviness='system' requires device_area")
+        if fit not in ("nf", "fkf"):
+            raise ValueError(f"unknown fit {fit!r}")
+        self.threshold = threshold
+        self.heaviness = heaviness
+        self.device_area = device_area
+        self.skip_blocked = fit == "nf"
+        self.name = f"EDF-US[{threshold}]-{fit}"
+
+    def is_heavy(self, job: Job) -> bool:
+        """Whether the job's task exceeds the heaviness threshold."""
+        task = job.task
+        if self.heaviness == "time":
+            return task.time_utilization > self.threshold
+        from repro.util.mathutil import exact_div
+
+        return exact_div(task.system_utilization, self.device_area) > self.threshold
+
+    def order(self, jobs: Sequence[Job]) -> List[Job]:
+        """Heavy jobs first (deadline-tie-broken), then EDF order."""
+        return sorted(jobs, key=lambda j: (not self.is_heavy(j),) + j.sort_key)

@@ -1,0 +1,126 @@
+"""Partitioned FPGA scheduling (Danne & Platzner RAW'06 — paper ref [10]).
+
+The device is split into fixed-width partitions; each task is bound to
+one partition and execution inside a partition is serialized, reducing
+the problem to bin-packing plus per-partition *uniprocessor* EDF
+analysis.  The paper contrasts this with the global scheduling it
+analyzes; we provide it as the comparison baseline
+(`examples/partitioned_vs_global.py`).
+
+Packing heuristic: tasks in decreasing area order, first-fit into the
+partition whose width already accommodates the task (capacity check via a
+pluggable uniprocessor test); a new partition of exactly the task's width
+is opened when none fits and width budget remains.  Decreasing-area
+first-fit is the classic choice; optimal partitioning is NP-hard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.interfaces import PerTaskVerdict, SchedulerKind, TestResult
+from repro.fpga.device import Fpga
+from repro.model.task import Task, TaskSet
+from repro.uni.qpa import qpa_test
+
+#: A uniprocessor EDF test: TaskSet -> TestResult.
+UniTest = Callable[[TaskSet], TestResult]
+
+
+@dataclass
+class Partition:
+    """A fixed-width column slice running its tasks serially under EDF."""
+
+    width: int
+    tasks: List[Task] = field(default_factory=list)
+
+    @property
+    def time_utilization(self):
+        return sum(t.time_utilization for t in self.tasks)
+
+    def fits(self, task: Task) -> bool:
+        return task.area <= self.width
+
+    def as_taskset(self) -> TaskSet:
+        return TaskSet(self.tasks)
+
+
+@dataclass(frozen=True)
+class PartitionedResult:
+    """Outcome of partitioned allocation + per-partition analysis."""
+
+    accepted: bool
+    partitions: Tuple[Partition, ...]
+    unplaced: Tuple[Task, ...]
+    result: TestResult
+
+
+def partition_first_fit(
+    taskset: TaskSet,
+    fpga: Fpga,
+    uni_test: UniTest = qpa_test,
+) -> PartitionedResult:
+    """Decreasing-area first-fit partitioning with pluggable EDF test.
+
+    A task goes into the first existing partition that is wide enough AND
+    whose taskset (with this task added) still passes ``uni_test``.  If
+    none works and enough width budget remains, a new partition of the
+    task's width opens.  Tasks that cannot be placed are reported in
+    ``unplaced`` and the overall verdict is rejection.
+    """
+    partitions: List[Partition] = []
+    unplaced: List[Task] = []
+    budget = fpga.capacity
+    for task in sorted(taskset, key=lambda t: (-t.area, t.name)):
+        placed = False
+        for part in partitions:
+            if not part.fits(task):
+                continue
+            candidate = TaskSet(part.tasks + [task])
+            if uni_test(candidate).accepted:
+                part.tasks.append(task)
+                placed = True
+                break
+        if not placed:
+            if task.area <= budget and uni_test(TaskSet([task])).accepted:
+                partitions.append(Partition(width=int(task.area), tasks=[task]))
+                budget -= int(task.area)
+                placed = True
+        if not placed:
+            unplaced.append(task)
+
+    verdicts = []
+    for idx, part in enumerate(partitions):
+        res = uni_test(part.as_taskset())
+        verdicts.append(
+            PerTaskVerdict(
+                task=f"partition{idx}[w={part.width}]",
+                passed=res.accepted,
+                lhs=part.time_utilization,
+                rhs=1,
+                detail=f"tasks: {', '.join(t.name for t in part.tasks)}",
+            )
+        )
+    for task in unplaced:
+        verdicts.append(PerTaskVerdict(task.name, False, detail="unplaced"))
+    accepted = not unplaced and all(v.passed for v in verdicts)
+    result = TestResult(
+        test_name="partitioned-FFD",
+        accepted=accepted,
+        schedulers=frozenset(SchedulerKind),
+        per_task=tuple(verdicts),
+        reason="" if accepted else "packing or per-partition analysis failed",
+    )
+    return PartitionedResult(accepted, tuple(partitions), tuple(unplaced), result)
+
+
+def partitioned_test(
+    taskset: TaskSet, fpga: Fpga, uni_test: UniTest = qpa_test
+) -> TestResult:
+    """Schedulability-test adapter for :func:`partition_first_fit`."""
+    return partition_first_fit(taskset, fpga, uni_test).result
+
+
+partitioned_test.name = "partitioned-FFD"  # type: ignore[attr-defined]
+partitioned_test.schedulers = frozenset(SchedulerKind)  # type: ignore[attr-defined]

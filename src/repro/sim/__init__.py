@@ -1,0 +1,64 @@
+"""Discrete-event simulation of EDF scheduling on a 1D PRTR FPGA.
+
+The paper uses simulation (all tasks released at time 0) as a coarse
+*upper bound* on schedulability — exact schedulability would require
+exhausting all release offsets (§6).  This package provides:
+
+* :func:`simulate` — event-driven simulation under EDF-FkF / EDF-NF (or
+  any :class:`~repro.sched.base.Scheduler`), in the paper's
+  free-migration model or in placement-constrained modes (§7 extensions);
+* :class:`Trace` — execution segments with checkers for the Lemma 1/2
+  α-occupancy invariants;
+* :mod:`repro.sim.offsets` — random release-offset search that tightens
+  the simulation upper bound.
+"""
+
+from repro.sim.simulator import (
+    MigrationMode,
+    SimulationConfig,
+    SimulationResult,
+    DeadlineMiss,
+    default_horizon,
+    simulate,
+)
+from repro.sim.metrics import SimMetrics
+from repro.sim.trace import Trace, TraceSegment
+from repro.sim.offsets import sample_offsets, simulate_with_offsets
+from repro.sim.reference import ReferenceResult, simulate_reference
+from repro.sim.hyperperiod import SynchronousVerdict, decide_synchronous
+from repro.sim.gantt import render_gantt
+from repro.sim.workload_measure import (
+    WindowMeasurement,
+    measure_workload_bounds,
+    tightness_summary,
+)
+from repro.sim.sporadic import (
+    sample_release_schedule,
+    simulate_release_schedule,
+    simulate_sporadic,
+)
+
+__all__ = [
+    "MigrationMode",
+    "SimulationConfig",
+    "SimulationResult",
+    "DeadlineMiss",
+    "default_horizon",
+    "simulate",
+    "SimMetrics",
+    "Trace",
+    "TraceSegment",
+    "sample_offsets",
+    "simulate_with_offsets",
+    "ReferenceResult",
+    "simulate_reference",
+    "SynchronousVerdict",
+    "decide_synchronous",
+    "render_gantt",
+    "WindowMeasurement",
+    "measure_workload_bounds",
+    "tightness_summary",
+    "sample_release_schedule",
+    "simulate_release_schedule",
+    "simulate_sporadic",
+]

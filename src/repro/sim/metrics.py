@@ -1,0 +1,39 @@
+"""Aggregate statistics collected by a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from numbers import Real
+from typing import Dict
+
+
+@dataclass
+class SimMetrics:
+    """Counters and integrals produced by :func:`repro.sim.simulator.simulate`."""
+
+    jobs_released: int = 0
+    jobs_completed: int = 0
+    deadline_misses: int = 0
+    #: A running job displaced by the scheduler before completing.
+    preemptions: int = 0
+    #: A job resumed at a different position (placement modes only).
+    migrations: int = 0
+    #: Scheduler decision points processed.
+    decision_points: int = 0
+    #: ``∫ occupied(t) dt`` — area-time actually used.
+    busy_area_time: Real = 0
+    #: Time actually simulated (may stop early on a miss).
+    simulated_time: Real = 0
+    #: Worst observed response time per task name.
+    worst_response: Dict[str, Real] = field(default_factory=dict)
+
+    def record_response(self, task_name: str, response: Real) -> None:
+        prev = self.worst_response.get(task_name)
+        if prev is None or response > prev:
+            self.worst_response[task_name] = response
+
+    def average_occupancy(self, capacity: int) -> float:
+        """Mean busy fraction of the device over the simulated span."""
+        if self.simulated_time == 0:
+            return 0.0
+        return float(self.busy_area_time) / (float(self.simulated_time) * capacity)

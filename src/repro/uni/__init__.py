@@ -1,0 +1,27 @@
+"""Uniprocessor EDF schedulability analysis.
+
+Substrate for partitioned FPGA scheduling (Danne & Platzner RAW'06, cited
+as [10] by the paper): once tasks are assigned to a fixed partition,
+execution inside the partition is serialized, so each partition is a
+uniprocessor EDF instance.
+
+* :func:`edf_utilization_test` — exact for implicit deadlines (U <= 1);
+* :func:`processor_demand_test` — exact PDA for constrained/arbitrary
+  deadlines via the demand-bound function;
+* :func:`qpa_test` — Zhang & Burns' Quick Processor-demand Analysis,
+  an equivalent but much faster backward search.
+"""
+
+from repro.uni.dbf import demand_bound, demand_points
+from repro.uni.utilization import edf_utilization_test
+from repro.uni.pda import processor_demand_test, pda_analysis_bound
+from repro.uni.qpa import qpa_test
+
+__all__ = [
+    "demand_bound",
+    "demand_points",
+    "edf_utilization_test",
+    "processor_demand_test",
+    "pda_analysis_bound",
+    "qpa_test",
+]

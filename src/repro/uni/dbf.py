@@ -1,0 +1,61 @@
+"""Demand-bound function for sporadic tasks (Baruah/Mok/Rosier).
+
+``dbf_i(t) = max(0, floor((t - D_i)/T_i) + 1) * C_i`` — the maximum
+execution demand of jobs of ``tau_i`` with both release and deadline
+inside any interval of length ``t``.  EDF feasibility on a preemptive
+uniprocessor is exactly ``forall t > 0: sum_i dbf_i(t) <= t``.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Iterator, List
+
+from repro.model.task import Task, TaskSet
+from repro.util.mathutil import float_floor_div
+
+
+def demand_bound(task: Task, t: Real) -> Real:
+    """``dbf(task, t)`` — demand of ``task`` in any window of length ``t``."""
+    if t < task.deadline:
+        return 0
+    n = float_floor_div(t - task.deadline, task.period) + 1
+    if n <= 0:
+        return 0
+    return n * task.wcet
+
+
+def taskset_demand(taskset: TaskSet, t: Real) -> Real:
+    """``h(t) = sum_i dbf_i(t)`` — total demand in a window of length ``t``."""
+    return sum(demand_bound(task, t) for task in taskset)
+
+
+def demand_points(taskset: TaskSet, limit: Real) -> List[Real]:
+    """All absolute deadlines ``k*T_i + D_i <= limit``, sorted ascending.
+
+    These are the only points where ``h`` jumps, hence the only candidates
+    a processor-demand test needs to check.
+    """
+    points: set[Real] = set()
+    for task in taskset:
+        d = task.deadline
+        while d <= limit:
+            points.add(d)
+            d = d + task.period
+    return sorted(points)
+
+
+def last_demand_point_before(taskset: TaskSet, t: Real) -> Real | None:
+    """The largest absolute deadline strictly below ``t`` (QPA's step)."""
+    best: Real | None = None
+    for task in taskset:
+        if task.deadline >= t:
+            continue
+        # largest k with k*T + D < t
+        k = float_floor_div(t - task.deadline, task.period)
+        cand = k * task.period + task.deadline
+        if cand >= t:  # guard float rounding at the boundary
+            cand -= task.period
+        if cand >= task.deadline and (best is None or cand > best):
+            best = cand
+    return best

@@ -1,0 +1,74 @@
+"""Processor-demand analysis (PDA) — exact uniprocessor EDF test.
+
+A constrained/arbitrary-deadline sporadic taskset is EDF-schedulable on a
+preemptive uniprocessor iff ``h(t) = Σ dbf_i(t) <= t`` for all ``t > 0``.
+Only finitely many ``t`` need checking: the absolute-deadline points up to
+an analysis bound ``L``.
+
+We use the classic ``La`` bound: for ``UT < 1``::
+
+    La = max( max_i D_i,  max_i (D_i - T_i),  Σ_i (T_i - D_i) u_i / (1 - UT) )
+
+(for implicit deadlines the third term vanishes and the busy period is
+finite anyway).  ``UT > 1`` is immediately unschedulable; ``UT == 1`` with
+all-implicit deadlines is schedulable, otherwise we fall back to one
+hyperperiod for rational parameters.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Real
+
+from repro.core.interfaces import PerTaskVerdict, SchedulerKind, TestResult
+from repro.model.task import TaskSet
+from repro.uni.dbf import demand_points, taskset_demand
+from repro.util.mathutil import lcm_many
+
+
+def pda_analysis_bound(taskset: TaskSet) -> Real:
+    """The largest ``t`` PDA must check (the ``La`` bound, see module docs)."""
+    ut = taskset.time_utilization
+    if ut > 1:
+        raise ValueError("UT > 1: unschedulable, no finite bound needed")
+    if ut < 1:
+        num = sum((t.period - t.deadline) * t.time_utilization for t in taskset)
+        la = num / (1 - ut) if num > 0 else 0
+        return max(taskset.max_deadline, la)
+    # UT == 1: fall back to one hyperperiod (requires rational periods).
+    try:
+        hp = lcm_many([Fraction(t.period) for t in taskset] +
+                      [Fraction(t.deadline) for t in taskset])
+    except TypeError as exc:
+        raise ValueError(
+            "UT == 1 with float periods: PDA bound undefined, use rationals"
+        ) from exc
+    return hp
+
+
+def processor_demand_test(taskset: TaskSet) -> TestResult:
+    """Exact EDF test: ``h(t) <= t`` at every deadline point up to ``L``."""
+    scheds = frozenset(SchedulerKind)
+    if any(not t.feasible_alone for t in taskset):
+        bad = [t.name for t in taskset if not t.feasible_alone]
+        return TestResult("PDA", False, scheds, reason=f"C > D for {', '.join(bad)}")
+    ut = taskset.time_utilization
+    if ut > 1:
+        return TestResult(
+            "PDA", False, scheds,
+            per_task=(PerTaskVerdict("*", False, ut, 1, "UT > 1"),),
+        )
+    limit = pda_analysis_bound(taskset)
+    for point in demand_points(taskset, limit):
+        demand = taskset_demand(taskset, point)
+        if demand > point:
+            return TestResult(
+                "PDA", False, scheds,
+                per_task=(
+                    PerTaskVerdict("*", False, demand, point, f"h({point}) > {point}"),
+                ),
+            )
+    return TestResult(
+        "PDA", True, scheds,
+        per_task=(PerTaskVerdict("*", True, detail=f"h(t) <= t for all t <= {limit}"),),
+    )

@@ -1,0 +1,32 @@
+"""The classic uniprocessor EDF utilization test (Liu & Layland).
+
+For implicit-deadline periodic/sporadic tasks, preemptive EDF on one
+processor is schedulable iff ``UT(Γ) <= 1``.  For constrained deadlines
+this is only necessary; use :mod:`repro.uni.pda` / :mod:`repro.uni.qpa`
+for an exact test there.
+"""
+
+from __future__ import annotations
+
+from repro.core.interfaces import PerTaskVerdict, SchedulerKind, TestResult
+from repro.model.task import TaskSet
+
+
+def edf_utilization_test(taskset: TaskSet) -> TestResult:
+    """``UT(Γ) <= 1`` — exact iff all deadlines are implicit.
+
+    The result carries a per-task record only when some task has a
+    constrained deadline (flagged as inexact in the detail string).
+    """
+    ut = taskset.time_utilization
+    exact = taskset.all_implicit_deadline
+    accepted = ut <= 1 and all(t.feasible_alone for t in taskset)
+    detail = "UT <= 1 (exact for implicit deadlines)" if exact else (
+        "UT <= 1 is only necessary for constrained deadlines; use PDA/QPA"
+    )
+    return TestResult(
+        test_name="EDF-U",
+        accepted=accepted,
+        schedulers=frozenset(SchedulerKind),
+        per_task=(PerTaskVerdict("*", accepted, ut, 1, detail),),
+    )

@@ -1,0 +1,20 @@
+"""Shared numeric and infrastructure utilities."""
+
+from repro.util.mathutil import (
+    exact_div,
+    fraction_lcm,
+    hyperperiod,
+    is_close,
+    lcm_many,
+)
+from repro.util.rngutil import spawn_rngs, rng_from_seed
+
+__all__ = [
+    "exact_div",
+    "fraction_lcm",
+    "hyperperiod",
+    "is_close",
+    "lcm_many",
+    "spawn_rngs",
+    "rng_from_seed",
+]

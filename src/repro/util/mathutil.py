@@ -1,0 +1,94 @@
+"""Numeric helpers: exact division, lcm/hyperperiod, tolerant comparison.
+
+The schedulability tests are evaluated either in floats (experiments) or in
+exact rationals (regression tests on the paper's knife-edge examples), so
+helpers here must preserve exactness when given ``int``/``Fraction`` inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from numbers import Real
+from typing import Iterable, Sequence
+
+#: Default absolute tolerance for float time comparisons in the simulator.
+TIME_EPS = 1e-9
+
+
+def exact_div(num: Real, den: Real):
+    """``num / den`` that yields a :class:`Fraction` for exact operand types.
+
+    ``float`` operands fall back to float division; ``int`` and ``Fraction``
+    operands stay exact.
+    """
+    if isinstance(num, float) or isinstance(den, float):
+        return num / den
+    return Fraction(num) / Fraction(den)
+
+
+def fraction_lcm(a: Fraction, b: Fraction) -> Fraction:
+    """Least common multiple of two positive rationals.
+
+    ``lcm(p1/q1, p2/q2) = lcm(p1, p2) / gcd(q1, q2)`` — the smallest
+    rational that is an integer multiple of both.
+    """
+    if a <= 0 or b <= 0:
+        raise ValueError("lcm requires positive operands")
+    a, b = Fraction(a), Fraction(b)
+    return Fraction(
+        math.lcm(a.numerator, b.numerator), math.gcd(a.denominator, b.denominator)
+    )
+
+
+def lcm_many(values: Iterable[Real]) -> Fraction:
+    """LCM of many positive rationals (ints accepted; floats rejected).
+
+    Floats are rejected because binary floats rarely represent the intended
+    periods exactly and the resulting "hyperperiod" would be garbage; convert
+    deliberately with :class:`Fraction` first if that is really wanted.
+    """
+    result: Fraction | None = None
+    for v in values:
+        if isinstance(v, float):
+            raise TypeError(
+                "lcm of floats is ill-defined; convert periods to Fraction first"
+            )
+        f = Fraction(v)
+        result = f if result is None else fraction_lcm(result, f)
+    if result is None:
+        raise ValueError("lcm of empty sequence")
+    return result
+
+
+def hyperperiod(periods: Sequence[Real]) -> Fraction:
+    """Hyperperiod (LCM of periods) of a taskset with rational periods.
+
+    For synchronous periodic tasksets the schedule repeats with this period,
+    so simulating ``[0, hyperperiod)`` (plus the largest deadline) decides
+    schedulability of the synchronous pattern exactly.
+    """
+    return lcm_many(periods)
+
+
+def is_close(a: Real, b: Real, eps: float = TIME_EPS) -> bool:
+    """Tolerant equality: exact for int/Fraction, ``abs`` tolerance for floats."""
+    if isinstance(a, float) or isinstance(b, float):
+        return abs(a - b) <= eps
+    return a == b
+
+
+def float_floor_div(num: Real, den: Real) -> int:
+    """``floor(num/den)`` robust to float representation error.
+
+    When ``num/den`` lands within :data:`TIME_EPS` *below* an integer, the
+    intended mathematical value is that integer (e.g. ``floor(0.3/0.1)``
+    must be 3, not 2).  Exact types use true floor division.
+    """
+    if not (isinstance(num, float) or isinstance(den, float)):
+        return math.floor(Fraction(num) / Fraction(den))
+    q = num / den
+    fq = math.floor(q)
+    if fq + 1 - q <= TIME_EPS:
+        return fq + 1
+    return fq

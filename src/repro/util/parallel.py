@@ -1,0 +1,40 @@
+"""Optional process-level parallelism for embarrassingly parallel sweeps.
+
+The acceptance-ratio experiments evaluate thousands of independent
+tasksets; :func:`parallel_map` fans them out over a process pool when
+``workers > 1`` and degrades to a plain ``map`` otherwise (keeping
+single-process determinism and debuggability — see the HPC guide's advice
+to keep the serial path primary).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """A conservative default worker count (leave one core free)."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    workers: int = 1,
+    chunksize: int = 1,
+) -> List[R]:
+    """Map ``fn`` over ``items``, optionally with a process pool.
+
+    ``fn`` and the items must be picklable when ``workers > 1``.  Result
+    order always matches input order.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items, chunksize=max(1, chunksize)))

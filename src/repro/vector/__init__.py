@@ -1,0 +1,24 @@
+"""Vectorized batch evaluation of the schedulability tests.
+
+The paper's figures need >= 10,000 tasksets per curve; evaluating the
+scalar tests one taskset at a time is needlessly slow in Python.  This
+package holds struct-of-arrays batches (:class:`TaskSetBatch`) and
+numpy-vectorized implementations of DP, GN1 and GN2 that process whole
+batches at once (GN2 in bounded-memory chunks).
+
+The scalar implementations in :mod:`repro.core` remain the reference —
+the test-suite cross-validates every vectorized verdict against them.
+"""
+
+from repro.vector.batch import TaskSetBatch, generate_batch
+from repro.vector.dp_vec import dp_accepts
+from repro.vector.gn1_vec import gn1_accepts
+from repro.vector.gn2_vec import gn2_accepts
+
+__all__ = [
+    "TaskSetBatch",
+    "generate_batch",
+    "dp_accepts",
+    "gn1_accepts",
+    "gn2_accepts",
+]

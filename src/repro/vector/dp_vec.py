@@ -1,0 +1,34 @@
+"""Vectorized DP (Theorem 1) over a :class:`TaskSetBatch`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vector.batch import TaskSetBatch
+
+
+def necessary_mask(batch: TaskSetBatch, capacity: int) -> np.ndarray:
+    """Vectorized :func:`repro.core.interfaces.necessary_conditions`."""
+    per_task = (
+        (batch.area <= capacity)
+        & (batch.wcet <= batch.deadline)
+        & (batch.wcet <= batch.period)
+    )
+    return per_task.all(axis=1) & (batch.system_utilization <= capacity)
+
+
+def dp_accepts(
+    batch: TaskSetBatch, capacity: int, *, integer_areas: bool = True
+) -> np.ndarray:
+    """Per-set DP verdicts, shape ``(B,)`` bool.
+
+    ``integer_areas=False`` evaluates Danne & Platzner's original
+    real-area bound (``Abnd = A(H) - Amax``) for the α ablation.
+    """
+    us_total = batch.system_utilization  # (B,)
+    ut = batch.wcet / batch.period  # (B, N)
+    us_i = ut * batch.area  # (B, N)
+    abnd = capacity - batch.max_area + (1 if integer_areas else 0)  # (B,)
+    rhs = abnd[:, None] * (1.0 - ut) + us_i  # (B, N)
+    ok = (us_total[:, None] <= rhs).all(axis=1)
+    return ok & necessary_mask(batch, capacity)

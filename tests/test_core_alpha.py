@@ -1,0 +1,67 @@
+"""Tests for the work-conserving α factors (paper §3, Lemmas 1-2)."""
+
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.alpha import (
+    global_alpha_fkf,
+    global_alpha_fkf_real_areas,
+    guaranteed_busy_area_fkf,
+    guaranteed_busy_area_nf,
+    interval_alpha_nf,
+)
+
+
+class TestLemma1:
+    def test_example_values(self):
+        # A(H)=10, Amax=9 -> α = 1 - 8/10 = 0.2, busy >= 2 columns
+        assert global_alpha_fkf(9, 10) == F(1, 5)
+        assert guaranteed_busy_area_fkf(9, 10) == 2
+
+    def test_unit_area_recovers_full_work_conservation(self):
+        # all tasks width 1 == multiprocessor: α = 1, all m processors busy
+        assert global_alpha_fkf(1, 16) == 1
+        assert guaranteed_busy_area_fkf(1, 16) == 16
+
+    def test_integer_correction_vs_real(self):
+        # integer-area α is strictly larger (tighter) than Danne's
+        assert global_alpha_fkf(7, 10) > global_alpha_fkf_real_areas(7, 10)
+        assert global_alpha_fkf(7, 10) - global_alpha_fkf_real_areas(7, 10) == F(1, 10)
+
+    def test_full_width_task(self):
+        # Amax = A(H): only 1 column guaranteed busy
+        assert guaranteed_busy_area_fkf(10, 10) == 1
+        assert global_alpha_fkf(10, 10) == F(1, 10)
+
+
+class TestLemma2:
+    def test_example_values(self):
+        assert interval_alpha_nf(7, 10) == F(4, 10)
+        assert guaranteed_busy_area_nf(7, 10) == 4
+
+    def test_nf_alpha_at_least_fkf_alpha(self):
+        # A_k <= Amax, so the NF interval bound dominates the FkF bound.
+        for ak in range(1, 8):
+            assert interval_alpha_nf(ak, 10) >= global_alpha_fkf(7, 10)
+
+    @given(st.integers(1, 50), st.integers(50, 200))
+    def test_alpha_in_unit_interval(self, ak, area):
+        a = interval_alpha_nf(ak, area)
+        assert 0 < a <= 1
+
+
+class TestValidation:
+    def test_rejects_task_wider_than_device(self):
+        with pytest.raises(ValueError):
+            global_alpha_fkf(11, 10)
+
+    def test_rejects_zero_area_device(self):
+        with pytest.raises(ValueError):
+            global_alpha_fkf(1, 0)
+
+    def test_rejects_area_below_one(self):
+        with pytest.raises(ValueError):
+            interval_alpha_nf(0, 10)

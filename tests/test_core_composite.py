@@ -1,0 +1,69 @@
+"""Tests for the §6 composite ("apply all bounds together") test."""
+
+import pytest
+
+from repro.core.composite import CompositeTest, composite_test, paper_portfolio
+from repro.core.dp import dp_test
+from repro.core.gn1 import gn1_test
+from repro.core.gn2 import gn2_test
+from repro.core.interfaces import SchedulerKind
+
+
+class TestPaperPortfolio:
+    def test_accepts_union_of_tables(self, table1, table2, table3, fpga10):
+        portfolio = paper_portfolio(SchedulerKind.EDF_NF)
+        assert portfolio(table1, fpga10).accepted  # via DP
+        assert portfolio(table2, fpga10).accepted  # via GN1
+        assert portfolio(table3, fpga10).accepted  # via GN2
+
+    def test_reports_which_member_accepted(self, table2, fpga10):
+        res = paper_portfolio(SchedulerKind.EDF_NF)(table2, fpga10)
+        assert "GN1" in res.test_name
+
+    def test_fkf_portfolio_skips_gn1(self, table2, fpga10):
+        """GN1 only certifies EDF-NF; for EDF-FkF Table 2 must be rejected
+        because DP and GN2 both reject it."""
+        fkf = paper_portfolio(SchedulerKind.EDF_FKF)
+        assert not fkf(table2, fpga10).accepted
+
+    def test_fkf_portfolio_still_accepts_dp_and_gn2_sets(self, table1, table3, fpga10):
+        fkf = paper_portfolio(SchedulerKind.EDF_FKF)
+        assert fkf(table1, fpga10).accepted
+        assert fkf(table3, fpga10).accepted
+
+    def test_rejection_lists_members(self, fpga10):
+        from repro.model.task import Task, TaskSet
+
+        hopeless = TaskSet(
+            [Task(wcet=9, period=10, area=9, name=f"t{i}") for i in range(2)]
+        )
+        res = paper_portfolio(SchedulerKind.EDF_NF)(hopeless, fpga10)
+        assert not res.accepted
+        assert "rejected by all members" in res.reason
+
+
+class TestCompositeMechanics:
+    def test_empty_members_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeTest(())
+
+    def test_composite_with_single_member(self, table1, fpga10):
+        comp = composite_test([dp_test])
+        assert comp(table1, fpga10).accepted
+
+    def test_guarantee_restricted_to_requested_scheduler(self, table2, fpga10):
+        res = composite_test([gn1_test], scheduler=SchedulerKind.EDF_NF)(table2, fpga10)
+        assert res.accepted
+        assert res.schedulers == frozenset({SchedulerKind.EDF_NF})
+
+    def test_unrestricted_composite_unions_guarantees(self, table1, fpga10):
+        res = composite_test([dp_test, gn1_test, gn2_test])(table1, fpga10)
+        assert res.accepted
+        # accepted via DP, which certifies both schedulers
+        assert SchedulerKind.EDF_FKF in res.schedulers
+
+    def test_no_applicable_member(self, table2, fpga10):
+        comp = composite_test([gn1_test], scheduler=SchedulerKind.EDF_FKF)
+        res = comp(table2, fpga10)
+        assert not res.accepted
+        assert "no applicable member" in res.reason

@@ -1,0 +1,134 @@
+"""Tests for sensitivity analysis and the §6-style explanation module."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.core.dp import dp_test
+from repro.core.explain import explain, explain_dp, explain_gn1, explain_gn2
+from repro.core.gn1 import gn1_test
+from repro.core.gn2 import gn2_test
+from repro.core.sensitivity import acceptance_margin, critical_scaling, minimum_width
+from repro.fpga.device import Fpga
+from repro.model.task import Task, TaskSet
+
+
+def light_taskset():
+    return TaskSet(
+        [
+            Task(wcet=F(1, 2), period=10, area=2, name="a"),
+            Task(wcet=F(1, 2), period=10, area=3, name="b"),
+        ]
+    )
+
+
+class TestCriticalScaling:
+    def test_light_taskset_has_headroom(self):
+        s = critical_scaling(light_taskset(), Fpga(width=10), dp_test)
+        assert s is not None and s > 1
+
+    def test_scaled_to_factor_still_accepted(self):
+        ts = light_taskset()
+        fpga = Fpga(width=10)
+        s = critical_scaling(ts, fpga, dp_test, precision=F(1, 10000))
+        assert dp_test(ts.scaled(time_factor=s), fpga).accepted
+
+    def test_slightly_beyond_factor_rejected(self):
+        ts = light_taskset()
+        fpga = Fpga(width=10)
+        s = critical_scaling(ts, fpga, dp_test, precision=F(1, 10000))
+        assert s < 16  # not capped at the search limit
+        beyond = ts.scaled(time_factor=s + F(1, 100))
+        assert not dp_test(beyond, fpga).accepted
+
+    def test_rejected_taskset_reports_deficit(self):
+        ts = TaskSet(
+            [
+                Task(wcet=9, period=10, area=9, name="a"),
+                Task(wcet=9, period=10, area=9, name="b"),
+            ]
+        )
+        s = critical_scaling(ts, Fpga(width=10), dp_test)
+        assert s is not None and s < 1
+
+    def test_structurally_impossible_returns_none(self):
+        ts = TaskSet([Task(wcet=1, period=10, area=20, name="wide")])
+        assert critical_scaling(ts, Fpga(width=10), dp_test) is None
+
+    def test_margin_sign(self):
+        assert acceptance_margin(light_taskset(), Fpga(width=10), dp_test) > 0
+
+    def test_exact_arithmetic_result(self):
+        s = critical_scaling(light_taskset(), Fpga(width=10), dp_test)
+        assert isinstance(s, F)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            critical_scaling(light_taskset(), Fpga(width=10), dp_test, precision=0)
+        with pytest.raises(ValueError):
+            critical_scaling(light_taskset(), Fpga(width=10), dp_test, upper_limit=0)
+
+    @pytest.mark.parametrize("test", [dp_test, gn1_test, gn2_test],
+                             ids=lambda t: t.name)
+    def test_consistent_across_tests(self, test):
+        """Every bound accepts its own critical scaling of a light set."""
+        ts = light_taskset()
+        fpga = Fpga(width=10)
+        s = critical_scaling(ts, fpga, test)
+        assert s is not None
+        assert test(ts.scaled(time_factor=s), fpga).accepted
+
+
+class TestMinimumWidth:
+    def test_binary_search_matches_linear_scan(self):
+        ts = light_taskset()
+        w = minimum_width(ts, 50, dp_test)
+        linear = next(
+            width for width in range(1, 51) if dp_test(ts, Fpga(width=width))
+        )
+        assert w == linear
+
+    def test_none_when_unreachable(self):
+        ts = TaskSet([Task(wcet=10, period=10, area=5, name="x"),
+                      Task(wcet=10, period=10, area=5, name="y")])
+        # zero-laxity pair: GN1's strict inequality can never hold
+        assert minimum_width(ts, 300, gn1_test) is None
+
+    def test_at_least_max_area(self):
+        ts = light_taskset()
+        assert minimum_width(ts, 50, dp_test) >= ts.max_area
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_width(light_taskset(), 0, dp_test)
+
+
+class TestExplain:
+    def test_dp_explanation_contains_paper_numbers(self, table3, fpga10):
+        text = explain_dp(table3, fpga10)
+        assert "US(Γ) = 247/50" in text  # 4.94 exact
+        assert "FAIL" in text and "reject" in text
+
+    def test_gn1_explanation_shows_betas(self, table3, fpga10):
+        text = explain_gn1(table3, fpga10)
+        assert "β[tau1]=41/50" in text  # 0.82 exact
+        assert "reject" in text
+
+    def test_gn2_explanation_shows_lambda_and_conditions(self, table3, fpga10):
+        text = explain_gn2(table3, fpga10)
+        assert "λ=21/50" in text  # 0.42
+        assert "certified by condition 2" in text
+        assert "ACCEPT" in text
+
+    def test_combined_explanation(self, table3, fpga10):
+        text = explain(table3, fpga10)
+        assert text.count("verdict:") == 3
+        assert "Theorem 1" in text and "Theorem 2" in text and "Theorem 3" in text
+
+    def test_gn2_failure_explanation(self, table2, fpga10):
+        text = explain_gn2(table2, fpga10)
+        assert "no λ candidate works: FAIL" in text
+
+    def test_accepting_dp_explanation(self, table1, fpga10):
+        text = explain_dp(table1, fpga10)
+        assert "ACCEPT" in text and "FAIL" not in text

@@ -1,0 +1,141 @@
+"""Tests for the figure-claim checkers and the 2D workload generator."""
+
+import pytest
+
+from repro.experiments.acceptance import AcceptanceCurves, AcceptanceSeries
+from repro.experiments.claims import check_figure
+from repro.fpga2d.gen2d import (
+    GenerationProfile2D,
+    generate_taskset_2d,
+    generate_tasksets_2d,
+)
+from repro.util.rngutil import rng_from_seed
+
+
+def _curves(**ratios_by_label):
+    buckets = tuple(float(x) for x in range(10, 10 + 10 * len(next(iter(ratios_by_label.values()))), 10))
+    series = tuple(
+        AcceptanceSeries(label, buckets, tuple(vals))
+        for label, vals in ratios_by_label.items()
+    )
+    return AcceptanceCurves(
+        name="synthetic", capacity=100, samples_per_point=100,
+        sim_samples_per_point=100, series=series,
+    )
+
+
+class TestClaimCheckers:
+    def test_fig3a_passes_on_conforming_shape(self):
+        curves = _curves(
+            DP=[0.8, 0.4, 0.1, 0.0, 0.0, 0.0],
+            GN1=[0.7, 0.4, 0.1, 0.05, 0.02, 0.0],
+            GN2=[0.8, 0.4, 0.1, 0.0, 0.0, 0.0],
+            **{"sim:EDF-NF": [1.0, 1.0, 1.0, 0.9, 0.5, 0.1]},
+        )
+        assert check_figure("fig3a", curves) == []
+
+    def test_fig3a_flags_nonpessimistic_test(self):
+        curves = _curves(
+            DP=[1.0, 1.0, 1.0, 1.0, 1.0, 1.0],  # accepting everything
+            GN1=[0.7, 0.4, 0.1, 0.05, 0.02, 0.0],
+            GN2=[0.8, 0.4, 0.1, 0.0, 0.0, 0.0],
+            **{"sim:EDF-NF": [1.0, 1.0, 1.0, 0.9, 0.5, 0.1]},
+        )
+        violations = check_figure("fig3a", curves)
+        assert any("DP not pessimistic" in v for v in violations)
+
+    def test_fig3b_flags_wrong_ordering(self):
+        curves = _curves(
+            DP=[0.1, 0.05, 0.0, 0.0],
+            GN1=[0.6, 0.3, 0.1, 0.0],  # GN1 better than DP: violates claim
+            GN2=[0.1, 0.05, 0.0, 0.0],
+            **{"sim:EDF-NF": [1.0, 1.0, 1.0, 0.9]},
+        )
+        violations = check_figure("fig3b", curves)
+        assert any("DP not better than GN1" in v for v in violations)
+
+    def test_fig4a_flags_good_tests(self):
+        curves = _curves(
+            DP=[0.5, 0.4, 0.3, 0.2],  # way too good for spatially heavy
+            GN1=[0.0, 0.0, 0.0, 0.0],
+            GN2=[0.0, 0.0, 0.0, 0.0],
+            **{"sim:EDF-NF": [1.0, 1.0, 0.9, 0.6]},
+        )
+        violations = check_figure("fig4a", curves)
+        assert any("DP not poor" in v for v in violations)
+
+    def test_fig4b_flags_dp_acceptance(self):
+        curves = _curves(
+            DP=[0.3, 0.2, 0.1, 0.0],  # DP must be ~0 here
+            GN1=[1.0, 0.9, 0.5, 0.1],
+            GN2=[0.9, 0.5, 0.1, 0.0],
+            **{"sim:EDF-NF": [1.0, 1.0, 0.8, 0.3]},
+        )
+        violations = check_figure("fig4b", curves)
+        assert any("unexpectedly accepts" in v for v in violations)
+
+    def test_fig4b_passes_on_conforming_shape(self):
+        curves = _curves(
+            DP=[0.0, 0.0, 0.0, 0.0],
+            GN1=[1.0, 0.9, 0.5, 0.1],
+            GN2=[0.9, 0.5, 0.1, 0.0],
+            **{"sim:EDF-NF": [1.0, 1.0, 0.8, 0.3]},
+        )
+        assert check_figure("fig4b", curves) == []
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            check_figure("fig9", _curves(DP=[0.0]))
+
+    def test_real_small_runs_satisfy_claims(self):
+        """End-to-end: modest-size regenerations pass their own checkers."""
+        from repro.experiments.figures import run_figure
+
+        for fid in ("fig3a", "fig3b"):
+            curves = run_figure(fid, samples=300, sim_samples=40, seed=2007)
+            assert check_figure(fid, curves) == [], fid
+
+
+class TestGenerationProfile2D:
+    def test_defaults_valid(self):
+        GenerationProfile2D()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_tasks_min=0),
+        dict(n_tasks_min=5, n_tasks_max=4),
+        dict(side_min=0),
+        dict(side_min=9, side_max=8),
+        dict(period_min=0),
+        dict(deadline_factor_min=0),
+        dict(deadline_factor_max=1.5),
+        dict(wcet_min=0),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GenerationProfile2D(**kwargs)
+
+
+class TestGenerate2D:
+    def test_respects_bounds(self):
+        profile = GenerationProfile2D()
+        rng = rng_from_seed(3)
+        for _ in range(40):
+            ts = generate_taskset_2d(profile, rng)
+            assert profile.n_tasks_min <= len(ts) <= profile.n_tasks_max
+            for t in ts:
+                assert profile.side_min <= t.width <= profile.side_max
+                assert profile.side_min <= t.height <= profile.side_max
+                assert t.wcet <= t.deadline <= t.period
+                assert t.feasible_alone
+
+    def test_reproducible(self):
+        p = GenerationProfile2D()
+        a = generate_taskset_2d(p, rng_from_seed(9))
+        b = generate_taskset_2d(p, rng_from_seed(9))
+        assert a == b
+
+    def test_batch(self):
+        sets = generate_tasksets_2d(GenerationProfile2D(), 7, rng_from_seed(1))
+        assert len(sets) == 7
+        with pytest.raises(ValueError):
+            generate_tasksets_2d(GenerationProfile2D(), -1, rng_from_seed(1))

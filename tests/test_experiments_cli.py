@@ -1,0 +1,53 @@
+"""Tests for the repro-experiments command line."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig9z"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "fig3a"])
+        assert args.samples is None
+        assert args.seed == 2007
+        assert args.format == "text"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out and "ablation-alpha" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "| table1 | accept | reject | reject | yes |" in out
+
+    def test_run_small_alpha_ablation(self, capsys):
+        assert main(["run", "ablation-alpha", "--samples", "50", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "DP" in out and "DP-real" in out
+
+    def test_run_csv_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "sub" / "alpha.csv"
+        code = main([
+            "run", "ablation-alpha", "--samples", "40",
+            "--format", "csv", "--out", str(out_file),
+        ])
+        assert code == 0
+        assert out_file.exists()
+        assert out_file.read_text().startswith("us,")
+
+    def test_run_with_plot(self, capsys):
+        assert main(["run", "ablation-alpha", "--samples", "30", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "|" in out  # sparkline frame

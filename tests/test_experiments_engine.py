@@ -1,0 +1,237 @@
+"""Tests for the acceptance-ratio engine and experiment plumbing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.acceptance import (
+    AcceptanceCurves,
+    AcceptanceSeries,
+    acceptance_experiment,
+    binned_batch_at,
+    feasible_batch_at,
+)
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.report import as_csv, as_markdown, as_text, render, sparkline
+from repro.experiments.tables import run_tables, render_tables
+from repro.fpga.device import Fpga
+from repro.gen.profiles import paper_unconstrained, spatially_light_temporally_heavy
+from repro.util.rngutil import rng_from_seed
+
+
+class TestFeasibleBatchAt:
+    def test_hits_target_exactly(self):
+        batch = feasible_batch_at(paper_unconstrained(5), 40.0, 50, rng_from_seed(1))
+        assert batch.count == 50
+        assert np.allclose(batch.system_utilization, 40.0)
+        assert batch.feasible_mask.all()
+
+    def test_unreachable_target_raises(self):
+        from repro.gen.profiles import GenerationProfile
+
+        tiny = GenerationProfile(n_tasks=2, area_min=1, area_max=2)
+        with pytest.raises(RuntimeError):
+            feasible_batch_at(tiny, 80.0, 10, rng_from_seed(2), max_rounds=5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            feasible_batch_at(paper_unconstrained(3), 0, 5, rng_from_seed(1))
+        with pytest.raises(ValueError):
+            feasible_batch_at(paper_unconstrained(3), 10.0, 0, rng_from_seed(1))
+
+
+class TestBinnedBatchAt:
+    def test_keeps_raw_joint_distribution(self):
+        profile = spatially_light_temporally_heavy(10)
+        batch = binned_batch_at(profile, 60.0, 3.0, 40, rng_from_seed(3))
+        assert batch is not None
+        # US within tolerance, and per-task utilizations stay heavy
+        assert np.all(np.abs(batch.system_utilization - 60.0) <= 3.0)
+        assert (batch.wcet / batch.period >= 0.5 - 1e-12).all()
+
+    def test_unreachable_bucket_returns_none(self):
+        profile = spatially_light_temporally_heavy(10)
+        # US < 5 impossible: 10 tasks x u>=0.5 x A>=1 => US >= 5
+        batch = binned_batch_at(profile, 2.0, 0.5, 10, rng_from_seed(4),
+                                max_rounds=2, chunk=2000)
+        assert batch is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binned_batch_at(paper_unconstrained(3), 10.0, 0, 5, rng_from_seed(1))
+        with pytest.raises(ValueError):
+            binned_batch_at(paper_unconstrained(3), 10.0, 1.0, 0, rng_from_seed(1))
+
+
+class TestAcceptanceExperiment:
+    def _run(self, **kw):
+        defaults = dict(
+            profile=paper_unconstrained(4),
+            fpga=Fpga(width=100),
+            us_grid=[20.0, 50.0, 80.0],
+            samples_per_point=60,
+            seed=5,
+            sim_samples_per_point=10,
+            horizon_factor=5,
+        )
+        defaults.update(kw)
+        return acceptance_experiment(**defaults)
+
+    def test_produces_all_series(self):
+        curves = self._run()
+        assert set(curves.labels) == {"DP", "GN1", "GN2", "sim:EDF-NF"}
+        for s in curves.series:
+            assert len(s.ratios) == 3
+            assert all(0 <= r <= 1 for r in s.ratios)
+
+    def test_ratios_decrease_with_utilization(self):
+        curves = self._run()
+        for label in ("DP", "GN1", "GN2"):
+            r = curves[label].ratios
+            assert r[0] >= r[-1]
+
+    def test_simulation_dominates_tests(self):
+        """The paper's headline: all tests pessimistic vs simulation."""
+        curves = self._run(samples_per_point=40, sim_samples_per_point=40)
+        sim = curves["sim:EDF-NF"].ratios
+        for label in ("DP", "GN1", "GN2"):
+            for test_r, sim_r in zip(curves[label].ratios, sim):
+                # identical tasksets per bucket -> strict dominance holds
+                assert test_r <= sim_r + 1e-12
+
+    def test_reproducible(self):
+        a = self._run()
+        b = self._run()
+        assert a.series == b.series
+
+    def test_seed_changes_results(self):
+        a = self._run()
+        b = self._run(seed=6)
+        assert a.series != b.series
+
+    def test_no_simulation_mode(self):
+        curves = self._run(sim_schedulers=())
+        assert set(curves.labels) == {"DP", "GN1", "GN2"}
+
+    def test_binned_mode_with_unreachable_bucket(self):
+        curves = acceptance_experiment(
+            spatially_light_temporally_heavy(10),
+            Fpga(width=100),
+            [2.0, 3.0, 60.0],  # spacing 1 -> bin tolerance 0.5
+            samples_per_point=30,
+            seed=7,
+            tests=("GN1",),
+            sim_schedulers=(),
+            sampling="bin",
+        )
+        r = curves["GN1"].ratios
+        # US < 5 is impossible for 10 tasks with u >= 0.5 and A >= 1
+        assert math.isnan(r[0]) and math.isnan(r[1])
+        assert not math.isnan(r[2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._run(tests=("XXX",))
+        with pytest.raises(ValueError):
+            self._run(sim_schedulers=("RoundRobin",))
+        with pytest.raises(ValueError):
+            self._run(samples_per_point=0)
+        with pytest.raises(ValueError):
+            self._run(sampling="magic")
+
+    def test_series_lookup(self):
+        curves = self._run(sim_schedulers=())
+        assert curves["DP"].label == "DP"
+        with pytest.raises(KeyError):
+            curves["nope"]
+        assert curves["DP"].at(20.0) == curves["DP"].ratios[0]
+        with pytest.raises(KeyError):
+            curves["DP"].at(33.0)
+
+    def test_rows_shape(self):
+        curves = self._run(sim_schedulers=())
+        rows = curves.rows()
+        assert len(rows) == 3
+        assert len(rows[0]) == 4  # us + 3 tests
+
+
+class TestFigures:
+    def test_all_figures_registered(self):
+        assert set(FIGURES) == {"fig3a", "fig3b", "fig4a", "fig4b"}
+
+    def test_run_figure_small(self):
+        curves = run_figure("fig3a", samples=30, sim_samples=0, seed=1)
+        assert curves.name.startswith("Fig 3(a)")
+        assert len(curves["DP"].ratios) == FIGURES["fig3a"].points
+
+    def test_fig4b_uses_binning(self):
+        assert FIGURES["fig4b"].sampling == "bin"
+
+
+class TestTablesRunner:
+    def test_all_tables_match_paper(self):
+        outcomes = run_tables()
+        assert all(o.matches_paper for o in outcomes.values())
+
+    def test_render(self):
+        text = render_tables(run_tables())
+        assert "table1" in text and "accept" in text and "NO" not in text
+
+
+class TestRegistry:
+    def test_contains_every_design_md_experiment(self):
+        expected = {
+            "fig3a", "fig3b", "fig4a", "fig4b",
+            "ablation-alpha", "ablation-nf-fkf",
+            "ablation-placement", "ablation-offsets",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_get_experiment(self):
+        assert get_experiment("fig3a").experiment_id == "fig3a"
+        with pytest.raises(KeyError):
+            get_experiment("fig9z")
+
+
+class TestReport:
+    def _curves(self):
+        return AcceptanceCurves(
+            name="demo",
+            capacity=100,
+            samples_per_point=10,
+            sim_samples_per_point=5,
+            series=(
+                AcceptanceSeries("DP", (10.0, 20.0), (1.0, 0.5)),
+                AcceptanceSeries("sim:EDF-NF", (10.0, 20.0), (1.0, 1.0)),
+            ),
+        )
+
+    def test_text(self):
+        out = as_text(self._curves())
+        assert "demo" in out and "DP" in out and "0.500" in out
+
+    def test_text_normalized(self):
+        out = as_text(self._curves(), normalize=True)
+        assert "0.100" in out  # 10/100
+
+    def test_csv(self):
+        out = as_csv(self._curves())
+        lines = out.strip().split("\n")
+        assert lines[0] == "us,DP,sim:EDF-NF"
+        assert lines[1].startswith("10,")
+
+    def test_markdown(self):
+        out = as_markdown(self._curves())
+        assert out.count("|") > 8
+
+    def test_sparkline(self):
+        line = sparkline(self._curves(), "DP")
+        assert "DP" in line and "█" in line
+
+    def test_render_dispatch(self):
+        for fmt in ("text", "csv", "markdown"):
+            assert render(self._curves(), fmt)
+        with pytest.raises(ValueError):
+            render(self._curves(), "xml")

@@ -1,0 +1,70 @@
+"""End-to-end smoke tests: every registered experiment runner executes.
+
+Tiny sample counts — these verify plumbing (runner signature, series
+labels, bucket counts), not statistics; the benchmarks assert the shapes.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.ablations import (
+    nf_vs_fkf_ablation,
+    offset_ablation,
+    placement_ablation,
+)
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestRegistryRunnersExecute:
+    @pytest.mark.parametrize("eid", ["fig3a", "fig3b", "fig4a"])
+    def test_figure_runners(self, eid):
+        curves = EXPERIMENTS[eid].runner(30, 7, 1)
+        assert set(curves.labels) >= {"DP", "GN1", "GN2"}
+        assert all(len(s.ratios) == len(s.utilizations) for s in curves.series)
+
+    def test_fig4b_runner_binned(self):
+        curves = EXPERIMENTS["fig4b"].runner(30, 7, 1)
+        gn1 = curves["GN1"].ratios
+        assert any(not math.isnan(r) for r in gn1)
+
+    def test_alpha_runner(self):
+        curves = EXPERIMENTS["ablation-alpha"].runner(40, 7, 1)
+        assert set(curves.labels) == {"DP", "DP-real"}
+
+
+class TestAblationRunnersDirect:
+    def test_nf_vs_fkf_small(self):
+        curves = nf_vs_fkf_ablation(us_grid=(40.0, 80.0), samples=6, seed=3)
+        nf, fkf = curves["sim:EDF-NF"], curves["sim:EDF-FkF"]
+        for a, b in zip(nf.ratios, fkf.ratios):
+            assert 0 <= b <= a <= 1
+
+    def test_placement_small(self):
+        from repro.fpga.placement import PlacementPolicy
+
+        curves = placement_ablation(
+            us_grid=(40.0, 70.0), samples=5, seed=3,
+            policies=(PlacementPolicy.BEST_FIT,),
+        )
+        assert "sim:FREE" in curves.labels
+        assert "sim:RELOC/best-fit" in curves.labels
+        assert "sim:PINNED" in curves.labels
+
+    def test_offsets_small(self):
+        curves = offset_ablation(
+            us_grid=(50.0, 80.0), samples=5, offset_samples=3, seed=3
+        )
+        sync = curves["sim:synchronous"]
+        searched = curves["sim:offset-search"]
+        for a, b in zip(sync.ratios, searched.ratios):
+            assert b <= a
+
+
+class TestCensusCli:
+    def test_census_command(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["census", "--samples", "300", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "pattern" in out and "fraction" in out

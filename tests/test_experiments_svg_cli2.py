@@ -1,0 +1,135 @@
+"""Tests for SVG rendering and the explain/simulate CLI commands."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.acceptance import AcceptanceCurves, AcceptanceSeries
+from repro.experiments.cli import main
+from repro.experiments.svgplot import render_svg, save_svg
+from repro.model.io import save_taskset
+from repro.model.task import Task, TaskSet
+
+
+def demo_curves():
+    return AcceptanceCurves(
+        name="demo <figure>",
+        capacity=100,
+        samples_per_point=10,
+        sim_samples_per_point=5,
+        series=(
+            AcceptanceSeries("DP", (10.0, 50.0, 90.0), (0.9, 0.4, 0.0)),
+            AcceptanceSeries("GN1", (10.0, 50.0, 90.0), (0.8, 0.5, 0.1)),
+            AcceptanceSeries("sim:EDF-NF", (10.0, 50.0, 90.0), (1.0, 1.0, 0.5)),
+        ),
+    )
+
+
+class TestSvgPlot:
+    def test_produces_wellformed_xml(self):
+        svg = render_svg(demo_curves())
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_polyline_per_series(self):
+        svg = render_svg(demo_curves())
+        assert svg.count("<polyline") == 3
+
+    def test_escapes_title(self):
+        svg = render_svg(demo_curves())
+        assert "demo &lt;figure&gt;" in svg
+        assert "<figure>" not in svg
+
+    def test_nan_points_skipped(self):
+        curves = AcceptanceCurves(
+            name="nan-demo", capacity=100, samples_per_point=1,
+            sim_samples_per_point=0,
+            series=(
+                AcceptanceSeries("A", (1.0, 2.0, 3.0), (float("nan"), 0.5, 0.4)),
+            ),
+        )
+        svg = render_svg(curves)
+        assert svg.count("<circle") == 2  # only the non-NaN points
+
+    def test_normalized_axis_label(self):
+        svg = render_svg(demo_curves(), normalize_x=True)
+        assert "US(Γ) / A(H)" in svg
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            render_svg(demo_curves(), width=100, height=100)
+
+    def test_save_creates_parents(self, tmp_path):
+        out = tmp_path / "a" / "b" / "fig.svg"
+        save_svg(demo_curves(), out)
+        assert out.exists()
+        ET.parse(out)  # parses cleanly
+
+
+@pytest.fixture
+def taskset_file(tmp_path):
+    ts = TaskSet(
+        [
+            Task(wcet=2, period=10, area=4, name="alpha"),
+            Task(wcet=3, period=12, area=5, name="beta"),
+        ]
+    )
+    path = tmp_path / "ts.json"
+    save_taskset(ts, path)
+    return path
+
+
+@pytest.fixture
+def doomed_taskset_file(tmp_path):
+    ts = TaskSet([Task(wcet=8, period=10, deadline=5, area=4, name="late")])
+    path = tmp_path / "bad.json"
+    save_taskset(ts, path)
+    return path
+
+
+class TestExplainCommand:
+    def test_explains_all_three_tests(self, taskset_file, capsys):
+        assert main(["explain", str(taskset_file), "--width", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out and "Theorem 2" in out and "Theorem 3" in out
+        assert out.count("verdict:") == 3
+
+
+class TestSimulateCommand:
+    def test_schedulable_run(self, taskset_file, capsys):
+        code = main(["simulate", str(taskset_file), "--width", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no deadline misses" in out
+        assert "worst response alpha" in out
+
+    def test_miss_returns_nonzero(self, doomed_taskset_file, capsys):
+        code = main(["simulate", str(doomed_taskset_file), "--width", "10"])
+        assert code == 1
+        assert "MISS: late#0" in capsys.readouterr().out
+
+    def test_gantt_output(self, taskset_file, capsys):
+        code = main([
+            "simulate", str(taskset_file), "--width", "10",
+            "--horizon", "12", "--gantt",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_fkf_scheduler_flag(self, taskset_file, capsys):
+        assert main([
+            "simulate", str(taskset_file), "--width", "10", "--scheduler", "fkf",
+        ]) == 0
+        assert "EDF-FkF" in capsys.readouterr().out
+
+
+class TestRunSvgFlag:
+    def test_run_writes_svg(self, tmp_path, capsys):
+        out = tmp_path / "alpha.svg"
+        code = main([
+            "run", "ablation-alpha", "--samples", "30", "--svg", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        ET.parse(out)

@@ -1,0 +1,293 @@
+"""Tests for the 2D extension: packing, simulation, shelf bound."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.device import Fpga
+from repro.fpga.placement import PlacementPolicy
+from repro.fpga2d.bounds import necessary_conditions_2d, shelf_test
+from repro.fpga2d.device import Fpga2D
+from repro.fpga2d.model import Task2D, TaskSet2D
+from repro.fpga2d.packing import BottomLeftPacker, PackingError
+from repro.fpga2d.sim2d import FitRule, simulate_2d
+from repro.model.task import Task, TaskSet
+from repro.sched.edf_nf import EdfNf
+from repro.sim.simulator import MigrationMode, simulate
+
+
+class TestDeviceAndModel:
+    def test_device(self):
+        f = Fpga2D(width=10, height=4)
+        assert f.area == 40
+        with pytest.raises(ValueError):
+            Fpga2D(width=0, height=4)
+        with pytest.raises(TypeError):
+            Fpga2D(width=2.5, height=4)  # type: ignore[arg-type]
+
+    def test_task(self):
+        from fractions import Fraction as F
+
+        t = Task2D(wcet=2, period=10, width=3, height=2, name="t")
+        assert t.footprint == 6
+        assert t.deadline == 10
+        assert t.system_utilization == F(6, 5)
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            Task2D(wcet=0, period=5)
+        with pytest.raises(ValueError):
+            Task2D(wcet=1, period=5, width=0)
+
+    def test_taskset(self):
+        ts = TaskSet2D([Task2D(wcet=1, period=5, width=2, height=3, name="a")])
+        assert ts.max_height == 3 and ts.max_width == 2
+        with pytest.raises(ValueError):
+            TaskSet2D([])
+        with pytest.raises(ValueError):
+            TaskSet2D([Task2D(wcet=1, period=5, name="x"),
+                       Task2D(wcet=1, period=6, name="x")])
+
+
+class TestBottomLeftPacker:
+    def test_places_bottom_left(self):
+        p = BottomLeftPacker(Fpga2D(width=10, height=10))
+        r1 = p.place("a", 4, 3)
+        assert (r1.x, r1.y) == (0, 0)
+        r2 = p.place("b", 4, 3)
+        assert (r2.x, r2.y) == (4, 0)  # beside, not on top
+
+    def test_stacks_when_row_full(self):
+        p = BottomLeftPacker(Fpga2D(width=8, height=10))
+        p.place("a", 4, 3)
+        p.place("b", 4, 3)
+        r3 = p.place("c", 4, 3)
+        assert (r3.x, r3.y) == (0, 3)
+
+    def test_fragmentation_blocks_despite_free_area(self):
+        """The §7 effect in one picture: 4 corner blocks leave 60% free
+        area but no 5x5 hole."""
+        p = BottomLeftPacker(Fpga2D(width=10, height=10))
+        p.place_at("tl", 0, 6, 4, 4)
+        p.place_at("tr", 6, 6, 4, 4)
+        p.place_at("bl", 0, 0, 4, 4)
+        p.place_at("br", 6, 0, 4, 4)
+        assert p.free_area == 36
+        assert p.find_position(5, 5) is None  # but 5x5=25 <= 36!
+        assert p.find_position(2, 10) is not None  # the middle strip works
+
+    def test_release_reopens_space(self):
+        p = BottomLeftPacker(Fpga2D(width=4, height=4))
+        p.place("a", 4, 4)
+        assert p.place("b", 1, 1) is None
+        p.release("a")
+        assert p.place("b", 1, 1) is not None
+
+    def test_errors(self):
+        p = BottomLeftPacker(Fpga2D(width=4, height=4))
+        p.place("a", 2, 2)
+        with pytest.raises(PackingError):
+            p.place("a", 1, 1)
+        with pytest.raises(PackingError):
+            p.release("ghost")
+        with pytest.raises(PackingError):
+            p.place_at("b", 1, 1, 2, 2)  # overlaps a
+        with pytest.raises(PackingError):
+            p.find_position(0, 1)
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(1, 5), st.integers(1, 5), st.booleans()),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_invariants_under_random_scripts(self, ops):
+        p = BottomLeftPacker(Fpga2D(width=12, height=12))
+        live = []
+        for i, (w, h, release_one) in enumerate(ops):
+            if release_one and live:
+                p.release(live.pop())
+            elif p.place(i, w, h) is not None:
+                live.append(i)
+            p.check_invariants()
+        assert p.used_area <= 12 * 12
+
+
+class TestSimulate2D:
+    def test_simple_schedulable(self):
+        ts = TaskSet2D(
+            [
+                Task2D(wcet=2, period=10, width=4, height=4, name="a"),
+                Task2D(wcet=2, period=10, width=4, height=4, name="b"),
+            ]
+        )
+        res = simulate_2d(ts, Fpga2D(width=10, height=4), horizon=30)
+        assert res.schedulable
+        assert res.jobs_released == 6
+        assert res.busy_area_time == 6 * 2 * 16
+
+    def test_oversized_task_misses(self):
+        ts = TaskSet2D([Task2D(wcet=1, period=10, width=20, height=1, name="wide")])
+        res = simulate_2d(ts, Fpga2D(width=10, height=4), horizon=20)
+        assert not res.schedulable
+
+    def test_area_rule_dominates_packed_rule(self):
+        """AREA ignores geometry, so its acceptance is an upper bound."""
+        ts = TaskSet2D(
+            [
+                Task2D(wcet=3, period=10, deadline=4, width=7, height=7, name="big"),
+                Task2D(wcet=3, period=10, deadline=5, width=7, height=4, name="flat"),
+            ]
+        )
+        fpga = Fpga2D(width=10, height=10)
+        area = simulate_2d(ts, fpga, horizon=20, fit_rule=FitRule.AREA)
+        packed = simulate_2d(ts, fpga, horizon=20, fit_rule=FitRule.PACKED)
+        # big (49) + flat (28) = 77 <= 100 CLBs: AREA runs both at once.
+        assert area.schedulable
+        # geometrically impossible: side by side 7+7 > 10 wide, stacked
+        # 7+4 > 10 tall — flat waits for big and misses its deadline.
+        assert not packed.schedulable
+
+    def test_fkf_prefix_rule_blocks(self):
+        # NF: head+tail run [0,4), mid runs [4,6) — all meet deadlines.
+        # FkF: mid (2nd in queue) doesn't fit beside head, prefix stops;
+        # tail idles [0,4) although its rectangle is free, then cannot
+        # finish 4 units by t=7.
+        ts = TaskSet2D(
+            [
+                Task2D(wcet=4, period=20, deadline=5, width=6, height=4, name="head"),
+                Task2D(wcet=2, period=20, deadline=6, width=6, height=4, name="mid"),
+                Task2D(wcet=4, period=20, deadline=7, width=4, height=4, name="tail"),
+            ]
+        )
+        fpga = Fpga2D(width=10, height=4)
+        nf = simulate_2d(ts, fpga, horizon=20, skip_blocked=True)
+        fkf = simulate_2d(ts, fpga, horizon=20, skip_blocked=False)
+        assert nf.schedulable
+        assert not fkf.schedulable  # tail blocked behind mid, misses at 7
+
+    def test_full_height_tasks_equal_1d_relocatable(self):
+        """Degenerate check: full-height rectangles ARE the 1D model."""
+        import numpy as np
+
+        rng = np.random.default_rng(13)
+        for trial in range(25):
+            n = int(rng.integers(1, 5))
+            tasks2d, tasks1d = [], []
+            for i in range(n):
+                c = int(rng.integers(1, 4))
+                t = int(rng.integers(3, 10))
+                w = int(rng.integers(1, 8))
+                tasks2d.append(
+                    Task2D(wcet=c, period=t, width=w, height=4, name=f"t{i}")
+                )
+                tasks1d.append(Task(wcet=c, period=t, area=w, name=f"t{i}"))
+            res2d = simulate_2d(
+                TaskSet2D(tasks2d), Fpga2D(width=10, height=4), horizon=50,
+                fit_rule=FitRule.PACKED, eps=0,
+            )
+            res1d = simulate(
+                TaskSet(tasks1d), Fpga(width=10), EdfNf(), 50,
+                mode=MigrationMode.RELOCATABLE,
+                placement_policy=PlacementPolicy.FIRST_FIT, eps=0,
+            )
+            assert res2d.schedulable == res1d.schedulable, f"trial {trial}"
+            assert res2d.busy_area_time == res1d.metrics.busy_area_time * 4
+
+    def test_validation(self):
+        ts = TaskSet2D([Task2D(wcet=1, period=5, name="a")])
+        with pytest.raises(ValueError):
+            simulate_2d(ts, Fpga2D(width=4, height=4), horizon=0)
+
+
+class TestShelfBound:
+    def test_necessary_conditions(self):
+        fpga = Fpga2D(width=10, height=10)
+        bad = TaskSet2D([Task2D(wcet=1, period=5, width=11, height=1, name="w")])
+        assert not necessary_conditions_2d(bad, fpga).accepted
+        ok = TaskSet2D([Task2D(wcet=1, period=5, width=2, height=2, name="w")])
+        assert necessary_conditions_2d(ok, fpga).accepted
+
+    def test_accepts_light_workload(self):
+        ts = TaskSet2D(
+            [
+                Task2D(wcet=1, period=10, width=3, height=2, name="a"),
+                Task2D(wcet=1, period=10, width=4, height=2, name="b"),
+                Task2D(wcet=1, period=10, width=5, height=2, name="c"),
+            ]
+        )
+        res = shelf_test(ts, Fpga2D(width=10, height=6))
+        assert res.accepted
+        assert any(v.task.startswith("shelf") for v in res.per_task)
+
+    def test_rejects_when_no_shelf_fits(self):
+        ts = TaskSet2D([Task2D(wcet=1, period=10, width=2, height=7, name="tall")])
+        res = shelf_test(ts, Fpga2D(width=10, height=6))
+        assert not res.accepted
+
+    def test_shelf_height_below_tallest_rejected(self):
+        ts = TaskSet2D([Task2D(wcet=1, period=10, width=2, height=3, name="t")])
+        res = shelf_test(ts, Fpga2D(width=10, height=6), shelf_height=2)
+        assert not res.accepted
+
+    def test_single_shelf_equals_1d_portfolio(self):
+        """All-full-height tasks: shelf test == the paper's 1D portfolio."""
+        from repro.core.composite import paper_portfolio
+        from repro.core.interfaces import SchedulerKind
+
+        ts2d = TaskSet2D(
+            [
+                Task2D(wcet=2, period=5, width=7, height=4, name="t1"),
+                Task2D(wcet=2, period=7, width=7, height=4, name="t2"),
+            ]
+        )
+        ts1d = TaskSet(
+            [
+                Task(wcet=2, period=5, area=7, name="t1"),
+                Task(wcet=2, period=7, area=7, name="t2"),
+            ]
+        )
+        res2d = shelf_test(ts2d, Fpga2D(width=10, height=4))
+        res1d = paper_portfolio(SchedulerKind.EDF_NF)(ts1d, Fpga(width=10))
+        assert res2d.accepted == res1d.accepted
+
+    def test_sound_against_simulation(self):
+        """Shelf acceptance implies packed-simulation success."""
+        import numpy as np
+
+        rng = np.random.default_rng(21)
+        fpga = Fpga2D(width=10, height=8)
+        accepted = 0
+        for _ in range(60):
+            n = int(rng.integers(2, 5))
+            tasks = [
+                Task2D(
+                    wcet=float(rng.uniform(0.2, 2.0)),
+                    period=float(rng.uniform(5, 15)),
+                    width=int(rng.integers(1, 8)),
+                    height=int(rng.integers(1, 5)),
+                    name=f"t{i}",
+                )
+                for i in range(n)
+            ]
+            ts = TaskSet2D(tasks)
+            if shelf_test(ts, fpga).accepted:
+                accepted += 1
+                res = simulate_2d(ts, fpga, horizon=300, fit_rule=FitRule.PACKED)
+                assert res.schedulable, ts
+        assert accepted > 0  # the property was actually exercised
+
+    def test_shelves_partition_strict_tasks(self):
+        # two heavy same-height tasks that cannot share a shelf timewise
+        ts = TaskSet2D(
+            [
+                Task2D(wcet=8, period=10, width=9, height=2, name="a"),
+                Task2D(wcet=8, period=10, width=9, height=2, name="b"),
+            ]
+        )
+        res = shelf_test(ts, Fpga2D(width=10, height=4))
+        assert res.accepted  # two shelves of height 2
+        res_short = shelf_test(ts, Fpga2D(width=10, height=2))
+        assert not res_short.accepted  # only one shelf: cannot share

@@ -1,0 +1,164 @@
+"""Unit + property tests for the contiguous free-interval manager."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.device import Fpga, StaticRegion
+from repro.fpga.freelist import FreeList, FreeListError
+from repro.fpga.placement import PlacementPolicy
+
+
+class TestBasicAllocation:
+    def test_allocate_and_release(self):
+        fl = FreeList(Fpga(width=10))
+        a = fl.allocate("j1", 4)
+        assert a is not None and a.start == 0 and a.width == 4
+        assert fl.total_free == 6
+        fl.release("j1")
+        assert fl.total_free == 10
+        assert fl.free_intervals == [(0, 10)]
+
+    def test_allocation_fails_when_no_hole(self):
+        fl = FreeList(Fpga(width=10))
+        assert fl.allocate("a", 6) is not None
+        assert fl.allocate("b", 5) is None  # only 4 left
+        assert fl.allocate("b", 4) is not None
+
+    def test_double_allocate_same_key_raises(self):
+        fl = FreeList(Fpga(width=10))
+        fl.allocate("a", 2)
+        with pytest.raises(FreeListError):
+            fl.allocate("a", 2)
+
+    def test_release_unknown_key_raises(self):
+        fl = FreeList(Fpga(width=10))
+        with pytest.raises(FreeListError):
+            fl.release("ghost")
+
+    def test_zero_width_rejected(self):
+        fl = FreeList(Fpga(width=10))
+        with pytest.raises(FreeListError):
+            fl.allocate("a", 0)
+
+    def test_release_all(self):
+        fl = FreeList(Fpga(width=10))
+        fl.allocate("a", 3)
+        fl.allocate("b", 3)
+        fl.release_all()
+        assert fl.total_free == 10
+        assert fl.allocation_of("a") is None
+
+
+class TestCoalescing:
+    def test_middle_release_merges_both_sides(self):
+        fl = FreeList(Fpga(width=9))
+        fl.allocate("a", 3)  # [0,3)
+        fl.allocate("b", 3)  # [3,6)
+        fl.allocate("c", 3)  # [6,9)
+        fl.release("a")
+        fl.release("c")
+        assert fl.free_intervals == [(0, 3), (6, 9)]
+        fl.release("b")
+        assert fl.free_intervals == [(0, 9)]
+
+    def test_fragmentation_blocks_wide_job(self):
+        fl = FreeList(Fpga(width=10))
+        fl.allocate("a", 3)  # [0,3)
+        fl.allocate("b", 4)  # [3,7)
+        fl.allocate("c", 3)  # [7,10)
+        fl.release("a")
+        fl.release("c")
+        # 6 columns free but max hole is 3: a 4-wide job is blocked
+        assert fl.total_free == 6
+        assert fl.largest_hole == 3
+        assert not fl.can_place(4)
+        assert fl.allocate("d", 4) is None
+
+
+class TestExplicitPlacement:
+    def test_allocate_at(self):
+        fl = FreeList(Fpga(width=10))
+        fl.allocate_at("a", 4, 3)
+        assert fl.free_intervals == [(0, 4), (7, 10)]
+
+    def test_allocate_at_occupied_raises(self):
+        fl = FreeList(Fpga(width=10))
+        fl.allocate_at("a", 4, 3)
+        with pytest.raises(FreeListError):
+            fl.allocate_at("b", 5, 2)
+
+    def test_allocate_at_exact_hole(self):
+        fl = FreeList(Fpga(width=10))
+        fl.allocate_at("a", 0, 10)
+        assert fl.total_free == 0
+
+
+class TestStaticRegionInteraction:
+    def test_freelist_seeded_by_device_spans(self):
+        fpga = Fpga(width=10, static_regions=(StaticRegion(4, 2),))
+        fl = FreeList(fpga)
+        assert fl.free_intervals == [(0, 4), (6, 10)]
+        assert fl.total_free == 8
+
+    def test_static_region_never_allocated(self):
+        fpga = Fpga(width=10, static_regions=(StaticRegion(4, 2),))
+        fl = FreeList(fpga)
+        # widest possible hole is 4; a 5-wide job never fits
+        assert fl.allocate("wide", 5) is None
+        a = fl.allocate("ok", 4)
+        assert a.start in (0, 6)
+
+
+@st.composite
+def alloc_scripts(draw):
+    """Random interleavings of allocate/release operations."""
+    ops = []
+    live = []
+    next_id = 0
+    for _ in range(draw(st.integers(1, 30))):
+        if live and draw(st.booleans()):
+            victim = draw(st.sampled_from(live))
+            live.remove(victim)
+            ops.append(("release", victim))
+        else:
+            ops.append(("alloc", next_id, draw(st.integers(1, 8))))
+            live.append(next_id)
+            next_id += 1
+    return ops
+
+
+class TestInvariantsUnderRandomScripts:
+    @given(script=alloc_scripts(), policy=st.sampled_from(list(PlacementPolicy)))
+    @settings(max_examples=120, deadline=None)
+    def test_invariants_hold(self, script, policy):
+        fl = FreeList(Fpga(width=20))
+        placed = set()
+        for op in script:
+            if op[0] == "alloc":
+                _, key, width = op
+                if fl.allocate(key, width, policy) is not None:
+                    placed.add(key)
+            else:
+                _, key = op
+                if key in placed:
+                    fl.release(key)
+                    placed.remove(key)
+            fl.check_invariants()
+
+    @given(script=alloc_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_full_release_restores_device(self, script):
+        fl = FreeList(Fpga(width=20))
+        placed = set()
+        for op in script:
+            if op[0] == "alloc":
+                _, key, width = op
+                if fl.allocate(key, width) is not None:
+                    placed.add(key)
+            elif op[1] in placed:
+                fl.release(op[1])
+                placed.remove(op[1])
+        for key in placed:
+            fl.release(key)
+        assert fl.free_intervals == [(0, 20)]

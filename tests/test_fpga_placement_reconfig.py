@@ -1,0 +1,92 @@
+"""Tests for placement policies and the reconfiguration-overhead model."""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.fpga.placement import PlacementPolicy, choose_interval
+from repro.fpga.reconfig import ZERO_RECONFIG, ReconfigurationModel, inflate_taskset
+from repro.model.task import Task, TaskSet
+
+HOLES = [(0, 3), (5, 10), (12, 16)]  # widths 3, 5, 4
+
+
+class TestChooseInterval:
+    def test_first_fit_takes_leftmost(self):
+        assert choose_interval(HOLES, 3, PlacementPolicy.FIRST_FIT) == 0
+        assert choose_interval(HOLES, 4, PlacementPolicy.FIRST_FIT) == 5
+
+    def test_best_fit_takes_tightest(self):
+        assert choose_interval(HOLES, 3, PlacementPolicy.BEST_FIT) == 0
+        assert choose_interval(HOLES, 4, PlacementPolicy.BEST_FIT) == 12
+
+    def test_worst_fit_takes_largest(self):
+        assert choose_interval(HOLES, 3, PlacementPolicy.WORST_FIT) == 5
+
+    def test_no_hole_fits(self):
+        assert choose_interval(HOLES, 6, PlacementPolicy.FIRST_FIT) is None
+
+    def test_tie_break_leftmost(self):
+        holes = [(0, 4), (6, 10)]  # both width 4
+        assert choose_interval(holes, 2, PlacementPolicy.BEST_FIT) == 0
+        assert choose_interval(holes, 2, PlacementPolicy.WORST_FIT) == 0
+
+    def test_rejects_nonpositive_need(self):
+        with pytest.raises(ValueError):
+            choose_interval(HOLES, 0, PlacementPolicy.FIRST_FIT)
+
+    def test_empty_free_list(self):
+        assert choose_interval([], 1, PlacementPolicy.FIRST_FIT) is None
+
+
+class TestReconfigurationModel:
+    def test_zero_model(self):
+        assert ZERO_RECONFIG.is_zero
+        assert ZERO_RECONFIG.load_time(50) == 0
+
+    def test_affine_cost(self):
+        m = ReconfigurationModel(base=F(1, 2), per_column=F(1, 10))
+        assert m.load_time(5) == 1
+        assert not m.is_zero
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            ReconfigurationModel(base=-1)
+        with pytest.raises(ValueError):
+            ReconfigurationModel(per_column=-1)
+
+
+class TestInflateTaskset:
+    def _ts(self):
+        return TaskSet(
+            [
+                Task(wcet=1, period=10, area=4, name="a"),
+                Task(wcet=2, period=10, area=8, name="b"),
+            ]
+        )
+
+    def test_zero_model_is_identity(self):
+        ts = self._ts()
+        assert inflate_taskset(ts, ZERO_RECONFIG) == ts
+
+    def test_single_load_inflation(self):
+        m = ReconfigurationModel(base=F(1, 4), per_column=F(1, 8))
+        out = inflate_taskset(self._ts(), m)
+        assert out.by_name("a").wcet == 1 + F(1, 4) + F(4, 8)
+        assert out.by_name("b").wcet == 2 + F(1, 4) + 1
+
+    def test_multiple_reconfigurations(self):
+        m = ReconfigurationModel(base=1)
+        out = inflate_taskset(self._ts(), m, reconfigurations_per_job=3)
+        assert out.by_name("a").wcet == 4
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            inflate_taskset(self._ts(), ZERO_RECONFIG, reconfigurations_per_job=-1)
+
+    def test_wider_tasks_pay_more(self):
+        m = ReconfigurationModel(per_column=F(1, 100))
+        out = inflate_taskset(self._ts(), m)
+        added_a = out.by_name("a").wcet - 1
+        added_b = out.by_name("b").wcet - 2
+        assert added_b == 2 * added_a

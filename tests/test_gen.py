@@ -1,0 +1,166 @@
+"""Tests for the taskset generators (paper §6 recipe)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gen.profiles import (
+    GenerationProfile,
+    paper_unconstrained,
+    spatially_heavy_temporally_light,
+    spatially_light_temporally_heavy,
+)
+from repro.gen.random_tasksets import generate_taskset, generate_tasksets
+from repro.gen.sweep import generate_at_system_utilization, utilization_grid
+from repro.gen.uunifast import uunifast, uunifast_discard
+from repro.util.rngutil import rng_from_seed
+
+
+class TestProfiles:
+    def test_paper_unconstrained_defaults(self):
+        p = paper_unconstrained(10)
+        assert p.n_tasks == 10
+        assert (p.area_min, p.area_max) == (1, 100)
+        assert (p.period_min, p.period_max) == (5.0, 20.0)
+        assert (p.util_min, p.util_max) == (0.0, 1.0)
+
+    def test_fig4_profiles(self):
+        heavy = spatially_heavy_temporally_light()
+        light = spatially_light_temporally_heavy()
+        assert heavy.area_min >= 50 and heavy.util_max <= 0.3
+        assert light.area_max <= 30 and light.util_min >= 0.5
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_tasks=0),
+        dict(n_tasks=2, area_min=0),
+        dict(n_tasks=2, area_min=5, area_max=4),
+        dict(n_tasks=2, period_min=0),
+        dict(n_tasks=2, period_min=9, period_max=5),
+        dict(n_tasks=2, util_min=-0.1),
+        dict(n_tasks=2, util_max=1.5),
+    ])
+    def test_invalid_profiles_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GenerationProfile(**kwargs)
+
+    def test_with_tasks(self):
+        assert paper_unconstrained(4).with_tasks(9).n_tasks == 9
+
+
+class TestGenerateTaskset:
+    def test_respects_profile_bounds(self):
+        rng = rng_from_seed(1)
+        p = paper_unconstrained(10)
+        for _ in range(50):
+            ts = generate_taskset(p, rng)
+            assert len(ts) == 10
+            for t in ts:
+                assert p.period_min <= t.period <= p.period_max
+                assert p.area_min <= t.area <= p.area_max
+                assert t.deadline == t.period
+                assert 0 < t.wcet <= t.period  # factor in (0, 1]
+
+    def test_reproducible_with_seed(self):
+        a = generate_taskset(paper_unconstrained(5), rng_from_seed(7))
+        b = generate_taskset(paper_unconstrained(5), rng_from_seed(7))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_taskset(paper_unconstrained(5), rng_from_seed(1))
+        b = generate_taskset(paper_unconstrained(5), rng_from_seed(2))
+        assert a != b
+
+    def test_integer_periods(self):
+        p = GenerationProfile(n_tasks=6, integer_periods=True)
+        ts = generate_taskset(p, rng_from_seed(3))
+        for t in ts:
+            assert t.period == int(t.period)
+            assert 5 <= t.period <= 20
+
+    def test_integer_period_range_empty_raises(self):
+        p = GenerationProfile(n_tasks=2, period_min=5.2, period_max=5.8,
+                              integer_periods=True)
+        with pytest.raises(ValueError):
+            generate_taskset(p, rng_from_seed(0))
+
+    def test_generate_many(self):
+        sets = generate_tasksets(paper_unconstrained(4), 20, rng_from_seed(5))
+        assert len(sets) == 20
+        assert len({id(s) for s in sets}) == 20
+
+    def test_generate_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_tasksets(paper_unconstrained(4), -1, rng_from_seed(5))
+
+    def test_area_distribution_spans_range(self):
+        # statistical sanity: over many draws both extremes appear
+        rng = rng_from_seed(11)
+        p = GenerationProfile(n_tasks=100, area_min=1, area_max=5)
+        areas = {t.area for t in generate_taskset(p, rng)}
+        assert areas == {1, 2, 3, 4, 5}
+
+
+class TestUUniFast:
+    @given(n=st.integers(1, 12), u=st.floats(0.1, 4.0))
+    @settings(max_examples=80, deadline=None)
+    def test_sums_to_target(self, n, u):
+        utils = uunifast(n, u, rng_from_seed(13))
+        assert np.isclose(sum(utils), u)
+        assert all(x >= 0 for x in utils)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            uunifast(0, 1.0, rng_from_seed(0))
+        with pytest.raises(ValueError):
+            uunifast(3, 0.0, rng_from_seed(0))
+
+    def test_discard_respects_cap(self):
+        utils = uunifast_discard(4, 2.5, rng_from_seed(17))
+        assert np.isclose(sum(utils), 2.5)
+        assert all(u <= 1.0 for u in utils)
+
+    def test_discard_unreachable_target(self):
+        with pytest.raises(ValueError):
+            uunifast_discard(2, 3.0, rng_from_seed(0))
+
+
+class TestSweep:
+    def test_grid(self):
+        grid = utilization_grid(10, 100, 10)
+        assert len(grid) == 10
+        assert grid[0] == 10 and grid[-1] == 100
+
+    def test_grid_single_step(self):
+        assert utilization_grid(5, 9, 1) == [5]
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            utilization_grid(0, 10, 5)
+        with pytest.raises(ValueError):
+            utilization_grid(1, 10, 0)
+
+    def test_targeted_generation_hits_us(self):
+        rng = rng_from_seed(23)
+        p = paper_unconstrained(10)
+        for target in (10.0, 40.0, 80.0):
+            ts = generate_at_system_utilization(p, target, rng)
+            assert np.isclose(float(ts.system_utilization), target)
+            assert all(t.time_utilization <= 1 for t in ts)
+
+    def test_unreachable_target_raises(self):
+        # 2 tasks with area <= 2 and factor <= 1 can reach US <= 4 at most
+        p = GenerationProfile(n_tasks=2, area_min=1, area_max=2)
+        with pytest.raises(RuntimeError):
+            generate_at_system_utilization(p, 50.0, rng_from_seed(29), max_tries=50)
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            generate_at_system_utilization(paper_unconstrained(3), 0, rng_from_seed(1))
+
+    def test_preserves_structure(self):
+        rng = rng_from_seed(31)
+        p = spatially_heavy_temporally_light()
+        ts = generate_at_system_utilization(p, 30.0, rng)
+        assert all(50 <= t.area <= 100 for t in ts)
+        assert all(t.deadline == t.period for t in ts)

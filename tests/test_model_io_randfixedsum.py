@@ -1,0 +1,131 @@
+"""Tests for JSON serialization and the RandFixedSum generator."""
+
+from fractions import Fraction as F
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.device import Fpga, StaticRegion
+from repro.gen.randfixedsum import randfixedsum
+from repro.model.io import (
+    fpga_from_dict,
+    fpga_to_dict,
+    load_taskset,
+    save_taskset,
+    task_from_dict,
+    task_to_dict,
+    taskset_from_dict,
+    taskset_to_dict,
+)
+from repro.model.task import Task, TaskSet
+from repro.util.rngutil import rng_from_seed
+
+
+class TestTaskSerialization:
+    def test_int_roundtrip(self):
+        t = Task(wcet=2, period=10, deadline=8, area=3, name="x")
+        assert task_from_dict(task_to_dict(t)) == t
+
+    def test_fraction_roundtrip_exact(self):
+        t = Task(wcet=F("1.26"), period=7, area=9, name="knife")
+        back = task_from_dict(task_to_dict(t))
+        assert back.wcet == F(63, 50)
+        assert isinstance(back.wcet, F)
+
+    def test_float_roundtrip_bitexact(self):
+        # 0.1 + 0.2 is the classic decimal-repr trap; hex repr survives it
+        t = Task(wcet=0.1 + 0.2, period=1.1, area=2, name="f")
+        back = task_from_dict(task_to_dict(t))
+        assert back.wcet == t.wcet  # bit-identical, not approximately
+
+    def test_taskset_roundtrip(self, table1):
+        assert taskset_from_dict(taskset_to_dict(table1)) == table1
+
+    def test_file_roundtrip(self, tmp_path, table3):
+        path = tmp_path / "nested" / "ts.json"
+        save_taskset(table3, path)
+        assert load_taskset(path) == table3
+
+    def test_version_check(self, table1):
+        data = taskset_to_dict(table1)
+        data["format"] = 99
+        with pytest.raises(ValueError):
+            taskset_from_dict(data)
+
+    def test_decode_rejects_junk(self):
+        from repro.model.io import _decode_number
+
+        with pytest.raises(ValueError):
+            _decode_number({"complex": "1+2j"})
+        with pytest.raises(ValueError):
+            _decode_number(True)
+
+    @given(
+        wcet=st.fractions(min_value=F(1, 100), max_value=10),
+        period=st.integers(1, 50),
+        area=st.integers(1, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, wcet, period, area):
+        if wcet > period:
+            wcet = F(period)
+        t = Task(wcet=wcet, period=period, area=area, name="p")
+        assert task_from_dict(task_to_dict(t)) == t
+
+
+class TestFpgaSerialization:
+    def test_roundtrip_plain(self):
+        f = Fpga(width=100)
+        assert fpga_from_dict(fpga_to_dict(f)) == f
+
+    def test_roundtrip_with_static_regions(self):
+        f = Fpga(width=20, static_regions=(StaticRegion(3, 2), StaticRegion(10, 5)))
+        assert fpga_from_dict(fpga_to_dict(f)) == f
+
+
+class TestRandFixedSum:
+    @given(
+        n=st.integers(1, 12),
+        frac=st.floats(0.05, 0.999),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sum_and_caps(self, n, frac):
+        u_total = frac * n  # always feasible
+        utils = randfixedsum(n, u_total, rng_from_seed(3))
+        assert abs(sum(utils) - u_total) < 1e-9
+        assert all(-1e-12 <= u <= 1 + 1e-12 for u in utils)
+
+    def test_high_target_where_uunifast_discard_struggles(self):
+        # sum = 11.8 of 12: discard-based sampling would reject nearly
+        # every draw; randfixedsum is O(n^2) deterministic
+        utils = randfixedsum(12, 11.8, rng_from_seed(7))
+        assert abs(sum(utils) - 11.8) < 1e-9
+        assert max(utils) <= 1 + 1e-12
+
+    def test_custom_cap(self):
+        utils = randfixedsum(5, 2.0, rng_from_seed(11), u_cap=0.5)
+        assert abs(sum(utils) - 2.0) < 1e-9
+        assert all(u <= 0.5 + 1e-12 for u in utils)
+
+    def test_single_task(self):
+        assert randfixedsum(1, 0.7, rng_from_seed(1)) == [0.7]
+
+    def test_component_symmetry(self):
+        # all positions have the same marginal distribution
+        rng = rng_from_seed(13)
+        draws = np.array([randfixedsum(4, 2.0, rng) for _ in range(4000)])
+        means = draws.mean(axis=0)
+        assert np.allclose(means, 0.5, atol=0.03)
+
+    def test_validation(self):
+        rng = rng_from_seed(0)
+        with pytest.raises(ValueError):
+            randfixedsum(0, 1.0, rng)
+        with pytest.raises(ValueError):
+            randfixedsum(3, 0.0, rng)
+        with pytest.raises(ValueError):
+            randfixedsum(3, 3.5, rng)
+        with pytest.raises(ValueError):
+            randfixedsum(3, 1.0, rng, u_cap=0)

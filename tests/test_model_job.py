@@ -1,0 +1,68 @@
+"""Unit tests for runtime Job instances."""
+
+from fractions import Fraction as F
+
+from repro.model.job import Job
+from repro.model.task import Task
+
+
+def _task(**kw):
+    defaults = dict(wcet=2, period=10, deadline=8, area=3, name="t")
+    defaults.update(kw)
+    return Task(**defaults)
+
+
+class TestJob:
+    def test_absolute_deadline(self):
+        j = Job(task=_task(), release=5)
+        assert j.absolute_deadline == 13
+
+    def test_remaining_defaults_to_wcet(self):
+        j = Job(task=_task(), release=0)
+        assert j.remaining == 2
+        assert j.executed == 0
+        assert not j.completed
+
+    def test_area_delegates_to_task(self):
+        assert Job(task=_task(area=7), release=0).area == 7
+
+    def test_completion(self):
+        j = Job(task=_task(), release=0)
+        j.remaining = 0
+        assert j.completed
+        assert j.executed == 2
+
+    def test_laxity_at(self):
+        j = Job(task=_task(), release=0)  # d=8, rem=2
+        assert j.laxity_at(0) == 6
+        assert j.laxity_at(7) == -1  # cannot make it anymore
+
+    def test_edf_ordering_by_deadline(self):
+        early = Job(task=_task(name="e", deadline=4), release=0)
+        late = Job(task=_task(name="l", deadline=9), release=0)
+        assert early < late
+
+    def test_tie_break_by_release_time(self):
+        # paper Defs 1-2: ties of deadline broken by release time
+        first = Job(task=_task(name="a", deadline=6), release=0)
+        second = Job(task=_task(name="b", deadline=4), release=2)  # same abs deadline 6
+        assert first < second
+
+    def test_tie_break_deterministic_by_name(self):
+        a = Job(task=_task(name="a"), release=0)
+        b = Job(task=_task(name="b"), release=0)
+        assert a < b
+
+    def test_sorting_a_queue(self):
+        jobs = [
+            Job(task=_task(name="x", deadline=9), release=0),
+            Job(task=_task(name="y", deadline=3), release=1),
+            Job(task=_task(name="z", deadline=5), release=0),
+        ]
+        ordered = sorted(jobs)
+        assert [j.task.name for j in ordered] == ["y", "z", "x"]
+
+    def test_exact_arithmetic(self):
+        j = Job(task=_task(wcet=F("0.3"), deadline=F("0.9"), period=1), release=F("0.1"))
+        assert j.absolute_deadline == F(1)
+        assert j.laxity_at(F("0.4")) == F("0.3")

@@ -1,0 +1,89 @@
+"""Simulation-level tests for the EDF-US hybrid (paper §7 future work).
+
+The classic motivation (Dhall's effect, transplanted to the FPGA): a few
+near-saturated tasks starve under plain global EDF because short-deadline
+light jobs keep displacing them.  EDF-US gives heavy tasks top priority
+and fixes exactly this — demonstrated here against the simulator.
+"""
+
+from fractions import Fraction as F
+
+import pytest
+
+from repro.fpga.device import Fpga
+from repro.model.task import Task, TaskSet
+from repro.sched.edf_nf import EdfNf
+from repro.sched.edf_us import EdfUs
+from repro.sim.simulator import simulate
+
+
+def dhall_style_taskset():
+    """Two light unit-width tasks + one near-saturated one on 2 columns.
+
+    Plain EDF: lights (earlier deadlines) grab both columns first; the
+    heavy task accumulates lag and misses at t=2.  EDF-US runs the heavy
+    task continuously and everything fits.
+    """
+    return TaskSet(
+        [
+            Task(wcet=F(1, 2), period=1, area=1, name="light1"),
+            Task(wcet=F(1, 2), period=1, area=1, name="light2"),
+            Task(wcet=F(19, 10), period=2, area=1, name="heavy"),
+        ]
+    )
+
+
+class TestDhallRescue:
+    def test_plain_edf_misses(self):
+        res = simulate(dhall_style_taskset(), Fpga(width=2), EdfNf(), 4, eps=0)
+        assert not res.schedulable
+        assert res.misses[0].task == "heavy"
+
+    def test_edf_us_schedules(self):
+        sched = EdfUs(threshold=F(2, 3))
+        res = simulate(dhall_style_taskset(), Fpga(width=2), sched, 8, eps=0)
+        assert res.schedulable
+
+    def test_threshold_one_behaves_like_plain_edf(self):
+        """With threshold 1 no task is 'heavy' (u > 1 impossible), so
+        EDF-US degenerates to plain EDF and misses the same way."""
+        sched = EdfUs(threshold=1)
+        res = simulate(dhall_style_taskset(), Fpga(width=2), sched, 4, eps=0)
+        assert not res.schedulable
+
+    def test_us_fkf_fit_variant_also_rescues(self):
+        sched = EdfUs(threshold=F(2, 3), fit="fkf")
+        res = simulate(dhall_style_taskset(), Fpga(width=2), sched, 8, eps=0)
+        assert res.schedulable
+
+
+class TestSystemHeavinessVariant:
+    def test_area_weighted_priority_rescues_wide_task(self):
+        """Four narrow short-deadline tasks collectively exclude the wide
+        task under plain EDF (4x1 + 8 > 10) although two of them could run
+        beside it (2x1 + 8 = 10).  Promoting the wide task by *system*
+        utilization lets it run continuously while the narrows take turns
+        in the leftover columns — everything then fits."""
+        ts = TaskSet(
+            [Task(wcet=F(1, 2), period=1, area=1, name=f"n{i}") for i in range(4)]
+            + [Task(wcet=F(19, 10), period=2, area=8, name="wide")]
+        )
+        fpga = Fpga(width=10)
+        plain = simulate(ts, fpga, EdfNf(), 4, eps=0)
+        assert not plain.schedulable
+        assert plain.misses[0].task == "wide"
+
+        # wide's US share = 1.9*8/2/10 = 0.76 > 1/2; narrows are 0.05.
+        promoted = EdfUs(threshold=F(1, 2), heaviness="system", device_area=10)
+        res = simulate(ts, fpga, promoted, 8, eps=0)
+        assert res.schedulable
+
+    def test_heaviness_threshold_is_strict(self):
+        # u == threshold does not count as heavy (strict > in is_heavy)
+        sched = EdfUs(threshold=F(1, 2), heaviness="time")
+        from repro.model.job import Job
+
+        heavy_job = Job(task=Task(wcet=F(19, 10), period=2, area=8, name="w"), release=0)
+        light_job = Job(task=Task(wcet=F(1, 2), period=1, area=3, name="n"), release=0)
+        assert sched.is_heavy(heavy_job)
+        assert not sched.is_heavy(light_job)

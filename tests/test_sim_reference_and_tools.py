@@ -1,0 +1,207 @@
+"""Cross-validation of the event-driven simulator against the quantized
+reference, plus the hyperperiod decision and Gantt rendering tools."""
+
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.device import Fpga
+from repro.model.task import Task, TaskSet
+from repro.sched.edf_fkf import EdfFkf
+from repro.sched.edf_nf import EdfNf
+from repro.sim.gantt import render_gantt
+from repro.sim.hyperperiod import SynchronousVerdict, decide_synchronous
+from repro.sim.reference import simulate_reference
+from repro.sim.simulator import simulate
+
+
+@st.composite
+def integer_tasksets(draw):
+    n = draw(st.integers(1, 5))
+    tasks = []
+    for i in range(n):
+        period = draw(st.integers(3, 12))
+        deadline = draw(st.integers(2, period))
+        wcet = draw(st.integers(1, deadline))
+        area = draw(st.integers(1, 8))
+        tasks.append(
+            Task(wcet=wcet, period=period, deadline=deadline, area=area, name=f"t{i}")
+        )
+    return TaskSet(tasks)
+
+
+class TestReferenceEquivalence:
+    """On integer workloads every event is integral, so the quantized
+    reference simulator is exact — both engines must agree."""
+
+    @given(ts=integer_tasksets(), sched=st.sampled_from([EdfNf(), EdfFkf()]))
+    @settings(max_examples=120, deadline=None)
+    def test_verdict_and_accounting_agree(self, ts, sched):
+        fpga = Fpga(width=10)
+        horizon = 60
+        ref = simulate_reference(ts, fpga, sched, horizon, stop_at_first_miss=False)
+        evt = simulate(
+            ts, fpga, sched, horizon, eps=0, stop_at_first_miss=False
+        )
+        assert ref.schedulable == evt.schedulable
+        assert ref.jobs_released == evt.metrics.jobs_released
+        assert ref.busy_area_time == evt.metrics.busy_area_time
+
+    @given(ts=integer_tasksets())
+    @settings(max_examples=80, deadline=None)
+    def test_first_miss_time_agrees(self, ts):
+        fpga = Fpga(width=10)
+        ref = simulate_reference(ts, fpga, EdfNf(), 60)
+        evt = simulate(ts, fpga, EdfNf(), 60, eps=0)
+        if not ref.schedulable:
+            assert not evt.schedulable
+            assert evt.misses[0].deadline == ref.first_miss_time
+
+    @given(ts=integer_tasksets(), offset=st.integers(0, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_agreement_with_offsets(self, ts, offset):
+        fpga = Fpga(width=10)
+        offsets = {ts[0].name: offset}
+        ref = simulate_reference(
+            ts, fpga, EdfNf(), 60, offsets=offsets, stop_at_first_miss=False
+        )
+        evt = simulate(
+            ts, fpga, EdfNf(), 60, offsets=offsets, eps=0, stop_at_first_miss=False
+        )
+        assert ref.schedulable == evt.schedulable
+        assert ref.busy_area_time == evt.metrics.busy_area_time
+
+    def test_rejects_fractional_parameters(self):
+        ts = TaskSet([Task(wcet=1.5, period=5, area=2, name="frac")])
+        with pytest.raises(ValueError):
+            simulate_reference(ts, Fpga(width=10), EdfNf(), 20)
+
+    def test_rejects_bad_horizon(self):
+        ts = TaskSet([Task(wcet=1, period=5, area=2, name="a")])
+        with pytest.raises(ValueError):
+            simulate_reference(ts, Fpga(width=10), EdfNf(), 0)
+
+
+class TestHyperperiodDecision:
+    def test_schedulable_taskset_decided(self):
+        ts = TaskSet(
+            [
+                Task(wcet=2, period=5, area=4, name="a"),
+                Task(wcet=3, period=7, area=5, name="b"),
+            ]
+        )
+        verdict, miss = decide_synchronous(ts, Fpga(width=10), EdfNf())
+        assert verdict is SynchronousVerdict.SCHEDULABLE
+        assert miss is None
+
+    def test_unschedulable_taskset_decided_with_miss_time(self):
+        ts = TaskSet(
+            [
+                Task(wcet=4, period=5, area=8, name="a"),
+                Task(wcet=4, period=5, area=8, name="b"),
+            ]
+        )
+        verdict, miss = decide_synchronous(ts, Fpga(width=10), EdfNf())
+        assert verdict is SynchronousVerdict.UNSCHEDULABLE
+        assert miss == 5
+
+    def test_rational_periods(self):
+        ts = TaskSet(
+            [
+                Task(wcet=F(1, 4), period=F(1, 2), area=5, name="x"),
+                Task(wcet=F(1, 6), period=F(1, 3), area=5, name="y"),
+            ]
+        )
+        verdict, _ = decide_synchronous(ts, Fpga(width=10), EdfNf())
+        assert verdict is SynchronousVerdict.SCHEDULABLE
+
+    def test_full_utilization_never_idle_is_schedulable(self):
+        # UT = 1 per column-group: one full-width task with C == T: the
+        # boundary state is empty exactly at each hyperperiod multiple.
+        ts = TaskSet([Task(wcet=5, period=5, area=10, name="hot")])
+        verdict, _ = decide_synchronous(ts, Fpga(width=10), EdfNf())
+        assert verdict is SynchronousVerdict.SCHEDULABLE
+
+    def test_agrees_with_reference_on_random_integer_sets(self):
+        import numpy as np
+
+        rng = np.random.default_rng(9)
+        fpga = Fpga(width=10)
+        for _ in range(30):
+            n = int(rng.integers(1, 4))
+            tasks = [
+                Task(
+                    wcet=int(rng.integers(1, 4)),
+                    period=int(rng.integers(3, 9)),
+                    area=int(rng.integers(1, 9)),
+                    name=f"t{i}",
+                )
+                for i in range(n)
+            ]
+            ts = TaskSet(tasks)
+            verdict, _ = decide_synchronous(ts, fpga, EdfNf(), max_hyperperiods=8)
+            if verdict is SynchronousVerdict.UNDECIDED:
+                continue
+            from repro.util.mathutil import hyperperiod
+
+            h = int(hyperperiod([t.period for t in ts]))
+            ref = simulate_reference(ts, fpga, EdfNf(), h * 8)
+            assert ref.schedulable == (verdict is SynchronousVerdict.SCHEDULABLE)
+
+    def test_validation(self):
+        ts = TaskSet([Task(wcet=1, period=5, area=2, name="a")])
+        with pytest.raises(ValueError):
+            decide_synchronous(ts, Fpga(width=10), EdfNf(), max_hyperperiods=0)
+        float_ts = TaskSet([Task(wcet=1.0, period=5.5, area=2, name="a")])
+        with pytest.raises(TypeError):
+            decide_synchronous(float_ts, Fpga(width=10), EdfNf())
+
+
+class TestGantt:
+    def _trace(self):
+        ts = TaskSet(
+            [
+                Task(wcet=2, period=8, area=6, name="big"),
+                Task(wcet=4, period=8, area=4, name="small"),
+            ]
+        )
+        res = simulate(
+            ts, Fpga(width=10), EdfNf(), 8, record_trace=True, eps=0
+        )
+        return res.trace
+
+    def test_renders_grid(self):
+        out = render_gantt(self._trace(), time_step=1.0)
+        lines = out.split("\n")
+        assert len(lines) == 12  # header + 10 columns + legend
+        assert "legend:" in lines[-1]
+        assert "big#0" in lines[-1]
+
+    def test_occupancy_shape(self):
+        out = render_gantt(self._trace(), time_step=1.0)
+        rows = out.split("\n")[1:-1]
+        # at t=0 both jobs run: all 10 columns busy in first slot
+        first_col = [r[0] for r in rows]
+        assert "." not in first_col
+        # after t=4 everything is idle
+        last_col = [r[-1] for r in rows]
+        assert set(last_col) == {"."}
+
+    def test_idle_trace(self):
+        from repro.sim.trace import Trace, TraceSegment
+
+        trace = Trace(capacity=3)
+        trace.append(TraceSegment(0, 4, (), ()))
+        out = render_gantt(trace, time_step=1.0)
+        assert "(idle)" in out
+
+    def test_empty_trace(self):
+        from repro.sim.trace import Trace
+
+        assert render_gantt(Trace(capacity=3)) == "(empty trace)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_gantt(self._trace(), time_step=0)

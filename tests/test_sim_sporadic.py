@@ -1,0 +1,150 @@
+"""Tests for sporadic-release simulation and bound soundness under jitter."""
+
+import pytest
+
+from repro.core.dp import dp_test
+from repro.core.gn1 import gn1_test
+from repro.core.gn2 import gn2_test
+from repro.fpga.device import Fpga
+from repro.gen.profiles import paper_unconstrained
+from repro.gen.sweep import generate_at_system_utilization
+from repro.model.task import Task, TaskSet
+from repro.sched.edf_fkf import EdfFkf
+from repro.sched.edf_nf import EdfNf
+from repro.sim.simulator import default_horizon, simulate
+from repro.sim.sporadic import (
+    sample_release_schedule,
+    simulate_release_schedule,
+    simulate_sporadic,
+)
+from repro.util.rngutil import rng_from_seed
+
+
+def small_ts():
+    return TaskSet(
+        [
+            Task(wcet=1, period=5, area=4, name="a"),
+            Task(wcet=2, period=8, area=5, name="b"),
+        ]
+    )
+
+
+class TestSampleSchedule:
+    def test_gaps_respect_minimum_interarrival(self):
+        ts = small_ts()
+        sched = sample_release_schedule(ts, 100, rng_from_seed(1))
+        for t in ts:
+            rel = sched[t.name]
+            assert rel[0] == 0.0
+            for a, b in zip(rel, rel[1:]):
+                assert b - a >= float(t.period) - 1e-12
+            assert all(r < 100 for r in rel)
+
+    def test_zero_jitter_is_periodic(self):
+        ts = small_ts()
+        sched = sample_release_schedule(ts, 50, rng_from_seed(2), max_jitter_factor=0)
+        assert sched["a"] == [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_release_schedule(small_ts(), 10, rng_from_seed(1), -0.1)
+
+
+class TestSimulateSchedule:
+    def test_periodic_schedule_matches_plain_simulation(self):
+        ts = small_ts()
+        fpga = Fpga(width=10)
+        horizon = 40
+        sched = sample_release_schedule(ts, horizon, rng_from_seed(3), 0)
+        via_schedule = simulate_release_schedule(
+            ts, fpga, EdfNf(), horizon, sched, eps=0
+        )
+        plain = simulate(ts, fpga, EdfNf(), horizon, eps=0)
+        assert via_schedule.schedulable == plain.schedulable
+        assert via_schedule.metrics.jobs_released == plain.metrics.jobs_released
+        assert via_schedule.metrics.busy_area_time == plain.metrics.busy_area_time
+
+    def test_sparser_releases_reduce_load(self):
+        ts = small_ts()
+        fpga = Fpga(width=10)
+        jittered = sample_release_schedule(ts, 40, rng_from_seed(4), 1.0)
+        res = simulate_release_schedule(ts, fpga, EdfNf(), 40, jittered)
+        plain = simulate(ts, fpga, EdfNf(), 40)
+        assert res.metrics.jobs_released <= plain.metrics.jobs_released
+
+    def test_rejects_bad_schedules(self):
+        ts = small_ts()
+        fpga = Fpga(width=10)
+        with pytest.raises(ValueError):
+            simulate_release_schedule(ts, fpga, EdfNf(), 10, {"zzz": [0.0]})
+        with pytest.raises(ValueError):
+            simulate_release_schedule(ts, fpga, EdfNf(), 10, {"a": [50.0]})
+        with pytest.raises(ValueError):
+            simulate_release_schedule(ts, fpga, EdfNf(), 10, {"a": []})
+
+
+class TestSimulateSporadic:
+    def test_finds_failure_if_periodic_fails(self):
+        doomed = TaskSet([Task(wcet=6, period=10, deadline=5, area=4, name="x")])
+        res = simulate_sporadic(
+            doomed, Fpga(width=10), EdfNf(), 30, rng_from_seed(5), samples=3
+        )
+        assert not res.schedulable
+
+    def test_passes_on_robust_taskset(self):
+        res = simulate_sporadic(
+            small_ts(), Fpga(width=10), EdfNf(), 60, rng_from_seed(6), samples=8
+        )
+        assert res.schedulable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_sporadic(
+                small_ts(), Fpga(width=10), EdfNf(), 10, rng_from_seed(1), samples=-1
+            )
+        with pytest.raises(ValueError):
+            simulate_sporadic(
+                small_ts(), Fpga(width=10), EdfNf(), 10, rng_from_seed(1),
+                samples=0, include_periodic=False,
+            )
+
+
+class TestSoundnessUnderSporadicReleases:
+    """The bounds certify SPORADIC tasksets: acceptance must survive
+    arbitrary legal release jitter, not just the periodic pattern."""
+
+    @pytest.mark.parametrize("seed", [201, 202])
+    def test_accepted_sets_survive_jittered_releases(self, seed):
+        rng = rng_from_seed(seed)
+        fpga = Fpga(width=100)
+        checked = 0
+        for _ in range(40):
+            target = float(rng.uniform(5, 60))
+            try:
+                ts = generate_at_system_utilization(
+                    paper_unconstrained(int(rng.integers(2, 8))), target, rng,
+                    max_tries=40,
+                )
+            except RuntimeError:
+                continue
+            accepted_by = [
+                test for test in (dp_test, gn1_test, gn2_test)
+                if test(ts, fpga).accepted
+            ]
+            if not accepted_by:
+                continue
+            checked += 1
+            horizon = default_horizon(ts, factor=10)
+            for test in accepted_by:
+                from repro.core.interfaces import SchedulerKind
+
+                schedulers = [EdfNf()]
+                if SchedulerKind.EDF_FKF in test.schedulers:
+                    schedulers.append(EdfFkf())
+                for sched in schedulers:
+                    res = simulate_sporadic(
+                        ts, fpga, sched, horizon, rng, samples=3,
+                        max_jitter_factor=0.7,
+                    )
+                    assert res.schedulable, (test.name, sched.name, ts)
+        assert checked > 0  # the property was exercised

@@ -1,0 +1,147 @@
+"""Tests for uniprocessor EDF analysis: dbf, PDA, QPA."""
+
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.task import Task, TaskSet
+from repro.uni.dbf import (
+    demand_bound,
+    demand_points,
+    last_demand_point_before,
+    taskset_demand,
+)
+from repro.uni.pda import pda_analysis_bound, processor_demand_test
+from repro.uni.qpa import qpa_test
+from repro.uni.utilization import edf_utilization_test
+
+
+import itertools
+
+_counter = itertools.count()
+
+
+def _t(c, d, t, name=None):
+    return Task(
+        wcet=c, deadline=d, period=t, name=name or f"{c}/{d}/{t}#{next(_counter)}"
+    )
+
+
+class TestDbf:
+    def test_zero_before_first_deadline(self):
+        assert demand_bound(_t(2, 5, 10), 4) == 0
+
+    def test_steps_at_deadlines(self):
+        task = _t(2, 5, 10)
+        assert demand_bound(task, 5) == 2
+        assert demand_bound(task, 14) == 2
+        assert demand_bound(task, 15) == 4
+
+    def test_implicit_deadline(self):
+        task = _t(3, 10, 10)
+        assert demand_bound(task, 10) == 3
+        assert demand_bound(task, 25) == 6
+
+    def test_taskset_demand_sums(self):
+        ts = TaskSet([_t(2, 5, 10, "a"), _t(3, 10, 10, "b")])
+        assert taskset_demand(ts, 10) == 5
+
+    def test_demand_points(self):
+        ts = TaskSet([_t(1, 4, 6, "a"), _t(1, 5, 10, "b")])
+        assert demand_points(ts, 17) == [4, 5, 10, 15, 16]
+
+    def test_last_demand_point_before(self):
+        ts = TaskSet([_t(1, 4, 6, "a"), _t(1, 5, 10, "b")])
+        assert last_demand_point_before(ts, 17) == 16
+        assert last_demand_point_before(ts, 16) == 15
+        assert last_demand_point_before(ts, 4) is None
+
+    @given(st.integers(1, 60))
+    def test_dbf_monotone(self, t):
+        task = _t(2, 5, 7)
+        assert demand_bound(task, t) <= demand_bound(task, t + 1)
+
+
+class TestUtilizationTest:
+    def test_exact_for_implicit(self):
+        assert edf_utilization_test(TaskSet([_t(5, 10, 10)])).accepted
+        assert edf_utilization_test(TaskSet([_t(5, 10, 10), _t(5, 10, 10)])).accepted
+        assert not edf_utilization_test(
+            TaskSet([_t(6, 10, 10), _t(5, 10, 10)])
+        ).accepted
+
+    def test_full_utilization_accepted(self):
+        assert edf_utilization_test(TaskSet([_t(10, 10, 10)])).accepted
+
+    def test_infeasible_task_rejected(self):
+        assert not edf_utilization_test(TaskSet([_t(6, 5, 10)])).accepted
+
+
+class TestPda:
+    def test_accepts_schedulable_constrained(self):
+        ts = TaskSet([_t(1, 4, 6, "a"), _t(2, 5, 10, "b")])
+        assert processor_demand_test(ts).accepted
+
+    def test_rejects_constrained_overload(self):
+        # UT < 1 but deadline-constrained demand exceeds capacity at t=5
+        ts = TaskSet([_t(3, 5, 20, "a"), _t(3, 5, 20, "b")])
+        assert not processor_demand_test(ts).accepted
+
+    def test_rejects_ut_above_one(self):
+        ts = TaskSet([_t(6, 10, 10, "a"), _t(5, 10, 10, "b")])
+        assert not processor_demand_test(ts).accepted
+
+    def test_rejects_infeasible_task(self):
+        assert not processor_demand_test(TaskSet([_t(6, 5, 10)])).accepted
+
+    def test_analysis_bound_grows_with_constrained_deadlines(self):
+        implicit = TaskSet([_t(2, 10, 10, "a"), _t(3, 12, 12, "b")])
+        assert pda_analysis_bound(implicit) == 12
+        constrained = TaskSet([_t(2, 5, 10, "a"), _t(3, 6, 12, "b")])
+        assert pda_analysis_bound(constrained) >= 6
+
+    def test_bound_rejects_overload(self):
+        with pytest.raises(ValueError):
+            pda_analysis_bound(TaskSet([_t(11, 10, 10)]))
+
+    def test_full_utilization_implicit_uses_hyperperiod(self):
+        ts = TaskSet([_t(F(5), 10, 10, "a"), _t(F(5), 10, 10, "b")])
+        assert pda_analysis_bound(ts) == 10
+        assert processor_demand_test(ts).accepted
+
+
+@st.composite
+def uni_tasksets(draw):
+    n = draw(st.integers(1, 5))
+    tasks = []
+    for i in range(n):
+        period = draw(st.integers(3, 15))
+        deadline = draw(st.integers(2, period))
+        wcet = F(draw(st.integers(1, deadline * 10)), 10)
+        tasks.append(_t(wcet, deadline, period, name=f"t{i}"))
+    return TaskSet(tasks)
+
+
+class TestQpaEquivalence:
+    def test_matches_pda_on_examples(self):
+        examples = [
+            TaskSet([_t(1, 4, 6, "a"), _t(2, 5, 10, "b")]),
+            TaskSet([_t(3, 5, 20, "a"), _t(3, 5, 20, "b")]),
+            TaskSet([_t(2, 6, 8, "a"), _t(1, 3, 9, "b"), _t(1, 9, 12, "c")]),
+        ]
+        for ts in examples:
+            assert qpa_test(ts).accepted == processor_demand_test(ts).accepted
+
+    @given(ts=uni_tasksets())
+    @settings(max_examples=150, deadline=None)
+    def test_qpa_equals_pda(self, ts):
+        """QPA and PDA are the same exact test, computed differently."""
+        assert qpa_test(ts).accepted == processor_demand_test(ts).accepted
+
+    def test_qpa_rejects_infeasible(self):
+        assert not qpa_test(TaskSet([_t(6, 5, 10)])).accepted
+
+    def test_qpa_rejects_ut_above_one(self):
+        assert not qpa_test(TaskSet([_t(6, 10, 10), _t(5, 10, 10)])).accepted

@@ -1,0 +1,92 @@
+"""Unit + property tests for numeric helpers."""
+
+import math
+from fractions import Fraction as F
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.mathutil import (
+    exact_div,
+    float_floor_div,
+    fraction_lcm,
+    hyperperiod,
+    is_close,
+    lcm_many,
+)
+
+
+class TestExactDiv:
+    def test_int_over_int_is_fraction(self):
+        assert exact_div(1, 3) == F(1, 3)
+        assert isinstance(exact_div(1, 3), F)
+
+    def test_float_falls_back(self):
+        assert exact_div(1.0, 4) == 0.25
+        assert isinstance(exact_div(1.0, 4), float)
+
+    def test_fraction_stays_exact(self):
+        assert exact_div(F(1, 3), F(1, 6)) == 2
+
+
+class TestLcm:
+    def test_fraction_lcm_integers(self):
+        assert fraction_lcm(F(4), F(6)) == 12
+
+    def test_fraction_lcm_rationals(self):
+        # lcm(1/2, 1/3) = 1 ; lcm(3/4, 1/2) = 3/2
+        assert fraction_lcm(F(1, 2), F(1, 3)) == 1
+        assert fraction_lcm(F(3, 4), F(1, 2)) == F(3, 2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fraction_lcm(F(0), F(1))
+
+    def test_lcm_many(self):
+        assert lcm_many([2, 3, 4]) == 12
+
+    def test_lcm_many_rejects_floats(self):
+        with pytest.raises(TypeError):
+            lcm_many([2.0, 3])
+
+    def test_lcm_many_rejects_empty(self):
+        with pytest.raises(ValueError):
+            lcm_many([])
+
+    def test_hyperperiod(self):
+        assert hyperperiod([5, 7]) == 35
+
+    @given(st.lists(st.fractions(min_value=F(1, 10), max_value=10), min_size=1, max_size=5))
+    def test_lcm_is_common_multiple(self, values):
+        m = lcm_many(values)
+        for v in values:
+            q = m / F(v)
+            assert q.denominator == 1, f"{m} is not a multiple of {v}"
+
+
+class TestIsClose:
+    def test_exact_types_compare_exactly(self):
+        assert is_close(F(1, 3), F(1, 3))
+        assert not is_close(F(1, 3), F(1, 3) + F(1, 10**12))
+
+    def test_floats_compare_with_tolerance(self):
+        assert is_close(0.1 + 0.2, 0.3)
+
+
+class TestFloatFloorDiv:
+    def test_plain_cases(self):
+        assert float_floor_div(7, 2) == 3
+        assert float_floor_div(-1, 9) == -1
+        assert float_floor_div(F(-1), F(9)) == -1
+
+    def test_float_representation_error_rounds_up(self):
+        # 0.3/0.1 = 2.9999999999999996 in floats; intended floor is 3.
+        assert float_floor_div(0.3, 0.1) == 3
+
+    def test_exact_fraction_path(self):
+        assert float_floor_div(F(3, 10), F(1, 10)) == 3
+
+    @given(st.integers(-50, 50), st.integers(1, 20))
+    def test_matches_math_floor_on_ints(self, a, b):
+        assert float_floor_div(a, b) == math.floor(F(a) / F(b))

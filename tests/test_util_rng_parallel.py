@@ -1,0 +1,52 @@
+"""Tests for RNG plumbing and the parallel map helper."""
+
+import pytest
+
+from repro.util.parallel import default_workers, parallel_map
+from repro.util.rngutil import rng_from_seed, spawn_rngs
+
+
+def _square(x):
+    return x * x
+
+
+class TestRng:
+    def test_seeded_generators_reproduce(self):
+        a = rng_from_seed(42).random(5)
+        b = rng_from_seed(42).random(5)
+        assert (a == b).all()
+
+    def test_spawned_streams_differ(self):
+        r1, r2 = spawn_rngs(7, 2)
+        assert r1.random() != r2.random()
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn_rngs(3, 4)]
+        b = [g.random() for g in spawn_rngs(3, 4)]
+        assert a == b
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_spawn_zero_is_empty(self):
+        assert spawn_rngs(1, 0) == []
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_preserves_order(self):
+        assert parallel_map(_square, range(10), workers=1) == [x * x for x in range(10)]
+
+    def test_process_pool_path(self):
+        assert parallel_map(_square, list(range(8)), workers=2) == [
+            x * x for x in range(8)
+        ]
+
+    def test_single_item_never_spawns(self):
+        assert parallel_map(_square, [5], workers=8) == [25]
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
