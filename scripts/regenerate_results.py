@@ -32,7 +32,12 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--samples", type=int, default=2000,
                         help="tasksets per bucket for the figures")
-    parser.add_argument("--sim-samples", type=int, default=150)
+    parser.add_argument("--sim-samples", type=int, default=None,
+                        help="simulated tasksets per bucket (default: the "
+                             "full bucket on the vector backend, 150 on "
+                             "the scalar one)")
+    parser.add_argument("--sim-backend", choices=("vector", "scalar"),
+                        default="vector", dest="sim_backend")
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--seed", type=int, default=2007)
     parser.add_argument("--out", type=Path, default=Path("results"))
@@ -41,12 +46,16 @@ def main() -> None:
     args.out.mkdir(parents=True, exist_ok=True)
     blocks = []
 
+    sim_samples = args.sim_samples
+    if sim_samples is None and args.sim_backend == "scalar":
+        sim_samples = 150
     for fid in sorted(FIGURES):
         print(f"running {fid} ...", flush=True)
         curves = run_figure(
             fid,
             samples=args.samples,
-            sim_samples=args.sim_samples,
+            sim_samples=sim_samples,
+            sim_backend=args.sim_backend,
             seed=args.seed,
             workers=args.workers,
         )

@@ -14,7 +14,9 @@ This package provides:
 * :mod:`repro.fpga`, :mod:`repro.sched`, :mod:`repro.sim` — a 1D PRTR FPGA
   substrate, EDF-FkF / EDF-NF schedulers and a discrete-event simulator.
 * :mod:`repro.gen` — synthetic taskset generators (the paper's §6 recipe).
-* :mod:`repro.vector` — numpy-vectorized batch versions of the tests.
+* :mod:`repro.vector` — numpy-vectorized batch versions of the tests and a
+  batched FREE-mode EDF simulator (``simulate_batch``) that lets the
+  acceptance experiments simulate whole buckets instead of subsamples.
 * :mod:`repro.experiments` — runners regenerating every table and figure.
 
 Quickstart::

@@ -60,6 +60,7 @@ def nf_vs_fkf_ablation(
     samples: int = 60,
     seed: int = 37,
     workers: int = 1,
+    sim_backend: str = "vector",
 ) -> AcceptanceCurves:
     """Simulated acceptance of the two global EDF variants."""
     profile = profile or paper_unconstrained(10)
@@ -72,6 +73,7 @@ def nf_vs_fkf_ablation(
         tests=(),
         sim_schedulers=("EDF-NF", "EDF-FkF"),
         sim_samples_per_point=samples,
+        sim_backend=sim_backend,
         workers=workers,
         name="ablation: EDF-NF vs EDF-FkF (simulation)",
     )

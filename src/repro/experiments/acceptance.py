@@ -3,12 +3,21 @@
 For each total-system-utilization bucket, generate many tasksets from a
 profile, rescaled so ``US(Γ)`` hits the bucket exactly, then record the
 fraction accepted by each schedulability test and by simulation.  Tests
-run vectorized over the whole batch; simulation (the expensive part) runs
-on a configurable subsample, optionally across worker processes.
+run vectorized over the whole batch; simulation runs either on the whole
+batch as well (``sim_backend="vector"`` — the default, via
+:func:`repro.vector.sim_vec.simulate_batch`) or one taskset at a time on
+a subsample, optionally across worker processes
+(``sim_backend="scalar"``).  Both backends produce bit-identical
+verdicts for the engine's FREE-migration configuration; tasksets whose
+event loop blows the ``max_events`` budget are recorded as
+not-schedulable-within-budget and counted in
+:attr:`AcceptanceCurves.sim_budget_exceeded` instead of aborting the
+sweep.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -24,6 +33,7 @@ from repro.vector.batch import TaskSetBatch, generate_batch
 from repro.vector.dp_vec import dp_accepts
 from repro.vector.gn1_vec import gn1_accepts
 from repro.vector.gn2_vec import gn2_accepts
+from repro.vector.sim_vec import simulate_batch
 
 #: Vectorized analytical tests available to the engine.
 TEST_FUNCS = {
@@ -47,10 +57,16 @@ class AcceptanceSeries:
     utilizations: Tuple[float, ...]
     ratios: Tuple[float, ...]
 
-    def at(self, utilization: float) -> float:
-        """Ratio at an exact bucket value (KeyError if absent)."""
+    def at(self, utilization: float, rel_tol: float = 1e-9) -> float:
+        """Ratio at a bucket value (KeyError if absent).
+
+        Buckets are matched tolerantly (``math.isclose`` with ``rel_tol``
+        and a matching absolute floor): computed grids such as
+        ``np.linspace`` values differ from the "same" literal by a few
+        ulps, and an exact ``==`` would silently miss them.
+        """
         for u, r in zip(self.utilizations, self.ratios):
-            if u == utilization:
+            if math.isclose(u, utilization, rel_tol=rel_tol, abs_tol=rel_tol):
                 return r
         raise KeyError(utilization)
 
@@ -64,6 +80,9 @@ class AcceptanceCurves:
     samples_per_point: int
     sim_samples_per_point: int
     series: Tuple[AcceptanceSeries, ...]
+    #: Simulations that blew the ``max_events`` budget and were recorded
+    #: as not schedulable (0 on healthy sweeps).
+    sim_budget_exceeded: int = 0
 
     def __getitem__(self, label: str) -> AcceptanceSeries:
         for s in self.series:
@@ -151,15 +170,25 @@ def binned_batch_at(
     rescaling would destroy the "temporally heavy" property — DESIGN.md
     §4.8).  Returns ``None`` when the bucket is unreachable; a short batch
     when only some samples landed.
+
+    Round sizes adapt to the request: the first round draws a few times
+    ``count`` (instead of a flat ``chunk`` regardless of how few samples
+    were asked for), and later rounds extrapolate from the observed hit
+    rate.  ``chunk`` caps any single round's draw.
     """
     if count < 1:
         raise ValueError("count must be >= 1")
     if tolerance <= 0:
         raise ValueError("tolerance must be > 0")
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
     kept: List[TaskSetBatch] = []
     have = 0
+    drawn = 0
+    draw_size = min(chunk, max(2048, 4 * count))
     for _ in range(max_rounds):
-        draw = generate_batch(profile, chunk, rng)
+        draw = generate_batch(profile, draw_size, rng)
+        drawn += draw_size
         mask = np.abs(draw.system_utilization - us_target) <= tolerance
         if mask.any():
             kept.append(
@@ -171,6 +200,12 @@ def binned_batch_at(
             have += int(mask.sum())
         if have >= count:
             break
+        if have > 0:
+            # Draw what the observed hit rate suggests (x1.5 headroom).
+            need = count - have
+            draw_size = int(min(chunk, max(1024, math.ceil(1.5 * need * drawn / have))))
+        else:
+            draw_size = min(chunk, draw_size * 4)
     if have == 0:
         return None
     return TaskSetBatch(
@@ -181,14 +216,27 @@ def binned_batch_at(
     )
 
 
-def _simulate_one(args) -> bool:
-    """Worker: one taskset, one scheduler (picklable for process pools)."""
-    taskset, capacity, scheduler_name, horizon_factor = args
-    from repro.sim.simulator import default_horizon, simulate
+def _simulate_one(args) -> Tuple[bool, bool]:
+    """Worker: one taskset, one scheduler (picklable for process pools).
+
+    Returns ``(schedulable, budget_exceeded)``.  A ``SimulationError``
+    (event budget blown) is caught here so one pathological taskset
+    cannot abort a whole sweep — the set counts as not schedulable
+    within budget.
+    """
+    taskset, capacity, scheduler_name, horizon_factor, max_events = args
+    from repro.sim.simulator import SimulationError, default_horizon, simulate
 
     scheduler = _SCHEDULERS[scheduler_name]()
     horizon = default_horizon(taskset, factor=horizon_factor)
-    return simulate(taskset, Fpga(width=capacity), scheduler, horizon).schedulable
+    try:
+        result = simulate(
+            taskset, Fpga(width=capacity), scheduler, horizon,
+            max_events=max_events,
+        )
+    except SimulationError:
+        return False, True
+    return result.schedulable, False
 
 
 def acceptance_experiment(
@@ -201,26 +249,49 @@ def acceptance_experiment(
     tests: Sequence[str] = ("DP", "GN1", "GN2"),
     sim_schedulers: Sequence[str] = ("EDF-NF",),
     sim_samples_per_point: Optional[int] = None,
+    sim_backend: str = "vector",
     horizon_factor: int = 20,
+    max_events: int = 1_000_000,
     workers: int = 1,
     name: Optional[str] = None,
     sampling: str = "rescale",
+    bin_tolerance: Optional[float] = None,
 ) -> AcceptanceCurves:
     """Run the full §6 experiment for one workload profile.
 
     ``tests`` picks analytical curves from :data:`TEST_FUNCS`;
-    ``sim_schedulers`` adds simulation curves (labelled ``sim:<name>``)
-    computed on ``sim_samples_per_point`` (default: min(samples, 200))
-    tasksets per bucket.  ``workers > 1`` parallelizes the simulations.
+    ``sim_schedulers`` adds simulation curves (labelled ``sim:<name>``).
+
+    ``sim_backend`` selects how those curves are computed:
+
+    - ``"vector"`` (default): the batched FREE-mode simulator
+      (:func:`repro.vector.sim_vec.simulate_batch`) runs the *whole*
+      bucket — ``sim_samples_per_point`` defaults to
+      ``samples_per_point``, so the sim curve sees every taskset the
+      analytical curves see;
+    - ``"scalar"``: the per-taskset event simulator, subsampled to
+      ``sim_samples_per_point`` (default: min(samples, 200)) tasksets
+      per bucket; ``workers > 1`` parallelizes it over processes.
+
+    Both backends yield bit-identical verdicts per taskset.  Simulations
+    exceeding ``max_events`` are recorded as not schedulable and counted
+    in :attr:`AcceptanceCurves.sim_budget_exceeded` rather than aborting
+    the sweep.
 
     ``sampling`` selects how buckets are filled: ``"rescale"`` draws from
     the profile and rescales WCETs to the exact target (fast, exact
     buckets); ``"bin"`` keeps raw draws whose ``US`` falls near the target
     (the paper's methodology — preserves the profile's joint shape, see
-    Figure 4(b)).  Binned buckets that attract no samples yield ``nan``.
+    Figure 4(b)).  The bin half-width is ``bin_tolerance`` when given
+    (must be > 0), else half the smallest grid spacing; a single-bucket
+    grid has no spacing to derive it from, so ``"bin"`` then *requires*
+    an explicit ``bin_tolerance``.  Binned buckets that attract no
+    samples yield ``nan``.
     """
     if sampling not in ("rescale", "bin"):
         raise ValueError(f"unknown sampling mode {sampling!r}")
+    if sim_backend not in ("vector", "scalar"):
+        raise ValueError(f"unknown sim_backend {sim_backend!r}")
     unknown = set(tests) - set(TEST_FUNCS)
     if unknown:
         raise ValueError(f"unknown tests: {sorted(unknown)}")
@@ -229,11 +300,16 @@ def acceptance_experiment(
         raise ValueError(f"unknown schedulers: {sorted(unknown)}")
     if samples_per_point < 1:
         raise ValueError("samples_per_point must be >= 1")
-    sim_n = (
-        min(samples_per_point, 200)
-        if sim_samples_per_point is None
-        else min(sim_samples_per_point, samples_per_point)
-    )
+    if bin_tolerance is not None and bin_tolerance <= 0:
+        raise ValueError("bin_tolerance must be > 0")
+    if sim_samples_per_point is None:
+        sim_n = (
+            samples_per_point
+            if sim_backend == "vector"
+            else min(samples_per_point, 200)
+        )
+    else:
+        sim_n = min(sim_samples_per_point, samples_per_point)
     capacity = fpga.capacity
 
     ratios: Dict[str, List[float]] = {t: [] for t in tests}
@@ -241,11 +317,18 @@ def acceptance_experiment(
         ratios[f"sim:{s}"] = []
 
     grid_list = [float(u) for u in us_grid]
-    spacing = (
-        min(b - a for a, b in zip(grid_list, grid_list[1:]))
-        if len(grid_list) > 1
-        else max(grid_list[0] * 0.1, 1.0)
-    )
+    if bin_tolerance is not None:
+        tolerance = bin_tolerance
+    elif len(grid_list) > 1:
+        tolerance = min(b - a for a, b in zip(grid_list, grid_list[1:])) / 2
+    elif sampling == "bin":
+        raise ValueError(
+            "'bin' sampling with a single-bucket grid needs an explicit "
+            "bin_tolerance (no grid spacing to derive one from)"
+        )
+    else:
+        tolerance = None  # rescale mode never bins
+    budget_exceeded = 0
     rngs = spawn_rngs(seed, len(us_grid))
     for bucket_idx, us_target in enumerate(grid_list):
         if sampling == "rescale":
@@ -254,7 +337,7 @@ def acceptance_experiment(
             )
         else:
             batch = binned_batch_at(
-                profile, us_target, spacing / 2, samples_per_point, rngs[bucket_idx]
+                profile, us_target, tolerance, samples_per_point, rngs[bucket_idx]
             )
         if batch is None:
             for test in tests:
@@ -266,11 +349,33 @@ def acceptance_experiment(
             mask = TEST_FUNCS[test](batch, capacity)
             ratios[test].append(float(mask.mean()))
         if sim_schedulers and sim_n > 0:
-            tasksets = [batch.taskset(i) for i in range(min(sim_n, batch.count))]
-            for sched in sim_schedulers:
-                args = [(ts, capacity, sched, horizon_factor) for ts in tasksets]
-                outcomes = parallel_map(_simulate_one, args, workers=workers)
-                ratios[f"sim:{sched}"].append(sum(outcomes) / len(outcomes))
+            k = min(sim_n, batch.count)
+            if sim_backend == "vector":
+                sub = TaskSetBatch(
+                    batch.wcet[:k], batch.period[:k],
+                    batch.deadline[:k], batch.area[:k],
+                )
+                for sched in sim_schedulers:
+                    res = simulate_batch(
+                        sub, capacity, sched,
+                        horizon_factor=horizon_factor, max_events=max_events,
+                    )
+                    ratios[f"sim:{sched}"].append(
+                        int(res.schedulable.sum()) / k
+                    )
+                    budget_exceeded += int(res.budget_exceeded.sum())
+            else:
+                tasksets = [batch.taskset(i) for i in range(k)]
+                for sched in sim_schedulers:
+                    args = [
+                        (ts, capacity, sched, horizon_factor, max_events)
+                        for ts in tasksets
+                    ]
+                    outcomes = parallel_map(_simulate_one, args, workers=workers)
+                    ratios[f"sim:{sched}"].append(
+                        sum(ok for ok, _ in outcomes) / len(outcomes)
+                    )
+                    budget_exceeded += sum(ex for _, ex in outcomes)
 
     buckets = tuple(float(u) for u in us_grid)
     series = tuple(
@@ -282,4 +387,5 @@ def acceptance_experiment(
         samples_per_point=samples_per_point,
         sim_samples_per_point=sim_n,
         series=series,
+        sim_budget_exceeded=budget_exceeded,
     )

@@ -38,7 +38,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="tasksets per utilization bucket (default: per-experiment)")
     run.add_argument("--seed", type=int, default=2007)
     run.add_argument("--workers", type=int, default=1,
-                     help="process pool size for simulations")
+                     help="process pool size for scalar-backend simulations")
+    run.add_argument("--sim-backend", choices=("vector", "scalar"),
+                     default="vector", dest="sim_backend",
+                     help="simulation backend: 'vector' runs the batched "
+                          "FREE-mode simulator over full buckets, 'scalar' "
+                          "the per-taskset event loop on a subsample")
     run.add_argument("--format", choices=("text", "csv", "markdown"), default="text")
     run.add_argument("--out", type=Path, default=None, help="write to file")
     run.add_argument("--plot", action="store_true",
@@ -146,7 +151,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     exp = get_experiment(args.experiment)
     samples = args.samples if args.samples is not None else exp.default_samples
-    curves = exp.runner(samples, args.seed, args.workers)
+    curves = exp.runner(samples, args.seed, args.workers,
+                        sim_backend=args.sim_backend)
     output = render(curves, args.format)
     if args.plot:
         lines = [output, ""]

@@ -92,6 +92,7 @@ def run_figure(
     seed: int = 2007,
     sim_samples: Optional[int] = 100,
     sim_schedulers: Sequence[str] = ("EDF-NF",),
+    sim_backend: str = "vector",
     workers: int = 1,
     horizon_factor: int = 20,
 ) -> AcceptanceCurves:
@@ -99,9 +100,12 @@ def run_figure(
 
     Paper-fidelity runs want ``samples >= 10_000`` (the paper's group
     size); the default is sized for interactive use.  ``sim_samples=None``
-    disables the simulation curve (0 keeps the label out as well).
+    simulates the full bucket on the (default) vector backend and a
+    200-set subsample on the scalar one; 0 disables the simulation curve
+    (and keeps the label out as well).
     """
     spec = FIGURES[figure_id]
+    sim_enabled = sim_samples is None or sim_samples > 0
     return acceptance_experiment(
         spec.profile,
         Fpga(width=spec.capacity),
@@ -109,8 +113,9 @@ def run_figure(
         samples_per_point=samples,
         seed=seed,
         tests=("DP", "GN1", "GN2"),
-        sim_schedulers=sim_schedulers if (sim_samples or 0) > 0 else (),
+        sim_schedulers=sim_schedulers if sim_enabled else (),
         sim_samples_per_point=sim_samples,
+        sim_backend=sim_backend,
         workers=workers,
         horizon_factor=horizon_factor,
         name=spec.title,

@@ -21,18 +21,24 @@ class Experiment:
 
     experiment_id: str
     description: str
-    #: (samples, seed, workers) -> AcceptanceCurves
-    runner: Callable[[int, int, int], AcceptanceCurves]
+    #: (samples, seed, workers, sim_backend="vector") -> AcceptanceCurves
+    runner: Callable[..., AcceptanceCurves]
     default_samples: int
 
 
 def _figure_runner(figure_id: str):
-    def run(samples: int, seed: int, workers: int) -> AcceptanceCurves:
+    def run(
+        samples: int, seed: int, workers: int, sim_backend: str = "vector"
+    ) -> AcceptanceCurves:
+        # The vector backend simulates the whole bucket; the scalar one
+        # keeps the historical 1-in-10 subsample to stay affordable.
+        sim_samples = None if sim_backend == "vector" else max(1, samples // 10)
         return run_figure(
             figure_id,
             samples=samples,
             seed=seed,
-            sim_samples=max(1, samples // 10),
+            sim_samples=sim_samples,
+            sim_backend=sim_backend,
             workers=workers,
         )
 
@@ -52,7 +58,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "ablation-alpha": Experiment(
         "ablation-alpha",
         "DP with integer-area alpha vs Danne's real-area alpha",
-        lambda samples, seed, workers: ablations.alpha_ablation(
+        lambda samples, seed, workers, sim_backend="vector": ablations.alpha_ablation(
             samples=samples, seed=seed
         ),
         default_samples=2000,
@@ -60,15 +66,17 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "ablation-nf-fkf": Experiment(
         "ablation-nf-fkf",
         "Simulated acceptance of EDF-NF vs EDF-FkF",
-        lambda samples, seed, workers: ablations.nf_vs_fkf_ablation(
-            samples=samples, seed=seed, workers=workers
+        lambda samples, seed, workers, sim_backend="vector": ablations.nf_vs_fkf_ablation(
+            samples=samples, seed=seed, workers=workers, sim_backend=sim_backend
         ),
         default_samples=60,
     ),
+    # Placement-aware and offset-searched ablations stay on the scalar
+    # simulator: they exercise modes the vector backend does not cover.
     "ablation-placement": Experiment(
         "ablation-placement",
         "Free migration vs contiguous placement (fragmentation cost)",
-        lambda samples, seed, workers: ablations.placement_ablation(
+        lambda samples, seed, workers, sim_backend="vector": ablations.placement_ablation(
             samples=samples, seed=seed
         ),
         default_samples=40,
@@ -76,7 +84,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "ablation-offsets": Experiment(
         "ablation-offsets",
         "Synchronous-release simulation vs offset-searched upper bound",
-        lambda samples, seed, workers: ablations.offset_ablation(
+        lambda samples, seed, workers, sim_backend="vector": ablations.offset_ablation(
             samples=samples, seed=seed
         ),
         default_samples=40,

@@ -1,19 +1,24 @@
-"""Vectorized batch evaluation of the schedulability tests.
+"""Vectorized batch evaluation of the schedulability tests and simulator.
 
 The paper's figures need >= 10,000 tasksets per curve; evaluating the
 scalar tests one taskset at a time is needlessly slow in Python.  This
-package holds struct-of-arrays batches (:class:`TaskSetBatch`) and
+package holds struct-of-arrays batches (:class:`TaskSetBatch`),
 numpy-vectorized implementations of DP, GN1 and GN2 that process whole
-batches at once (GN2 in bounded-memory chunks).
+batches at once (GN2 in bounded-memory chunks), and a batched
+event-synchronized EDF simulator (:func:`simulate_batch`) for the
+paper's FREE-migration mode, so the acceptance engine's ``sim:`` curves
+run over full buckets instead of a subsample.
 
-The scalar implementations in :mod:`repro.core` remain the reference —
-the test-suite cross-validates every vectorized verdict against them.
+The scalar implementations in :mod:`repro.core` and
+:mod:`repro.sim.simulator` remain the reference — the test-suite
+cross-validates every vectorized verdict against them, bit-for-bit.
 """
 
 from repro.vector.batch import TaskSetBatch, generate_batch
 from repro.vector.dp_vec import dp_accepts
 from repro.vector.gn1_vec import gn1_accepts
 from repro.vector.gn2_vec import gn2_accepts
+from repro.vector.sim_vec import SimBatchResult, default_horizon_batch, simulate_batch
 
 __all__ = [
     "TaskSetBatch",
@@ -21,4 +26,7 @@ __all__ = [
     "dp_accepts",
     "gn1_accepts",
     "gn2_accepts",
+    "SimBatchResult",
+    "default_horizon_batch",
+    "simulate_batch",
 ]

@@ -1,0 +1,322 @@
+"""Batched, event-synchronized EDF simulation over :class:`TaskSetBatch`.
+
+The acceptance-ratio experiments need a *simulation* curve as the
+ground-truth envelope above the analytical tests (paper §6) — but the
+scalar :func:`repro.sim.simulator.simulate` walks one taskset at a time
+through a Python event loop, which forced the engine to subsample sim to
+a few hundred sets per bucket.  This module simulates the paper's
+FREE-migration mode for a *whole batch at once*: a job runs iff total
+free area suffices (no placement geometry), so every scheduling decision
+is a per-row deadline sort plus a left-to-right area accumulation — both
+of which vectorize over the batch dimension.
+
+Scope (exactly the configuration the acceptance engine uses):
+
+* ``MigrationMode.FREE`` only — placement-aware modes need per-row
+  free-list geometry and stay on the scalar path;
+* zero reconfiguration overhead, synchronous release (all offsets 0);
+* ``stop_at_first_miss`` semantics — the verdict is the product;
+* constrained deadlines (``D <= T``), so at most one job per task is
+  live at any decision point (a predecessor either completed or missed,
+  and a miss ends the row).
+
+State is struct-of-arrays over ``(B, N)`` — ``remaining``,
+``next_release``, absolute deadlines, a per-row event clock — and each
+step advances every live row to its *own* next event (rows are not
+synchronized to a global clock).  Decided rows are compacted out, so the
+per-step cost tracks the number of still-undecided sets.
+
+Bit-exactness discipline: the float operations (release accumulation,
+``now + remaining`` completion times, ``remaining - dt`` advances, area
+prefix sums) are performed in the same order and with the same operands
+as the scalar reference, so verdicts are bit-identical to
+``simulate(batch.taskset(i), ...)`` — the same contract
+:func:`repro.vector.batch.sequential_sum` gives the analytical tests.
+The EDF tie-break replicates the scalar queue exactly, including the
+*lexicographic* task-name ordering of ``batch.taskset`` names
+(``tau10`` sorts before ``tau2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.sched.base import Scheduler
+from repro.util.mathutil import TIME_EPS
+from repro.vector.batch import TaskSetBatch
+
+#: scheduler name -> skip_blocked (EDF-NF skips a job that does not fit,
+#: EDF-FkF stops at the first one — see repro.sched.base.Scheduler).
+_SKIP_BLOCKED = {"EDF-NF": True, "EDF-FkF": False}
+
+
+@dataclass(frozen=True)
+class SimBatchResult:
+    """Per-row outcome of one :func:`simulate_batch` run.
+
+    ``schedulable`` is ``True`` iff the row saw no deadline miss before
+    its horizon *and* stayed within the event budget; rows that ran out
+    of budget are additionally flagged in ``budget_exceeded`` (the
+    scalar simulator raises ``SimulationError`` there — the batch runner
+    records the row as not-schedulable-within-budget and keeps going).
+    """
+
+    schedulable: np.ndarray  # (B,) bool
+    budget_exceeded: np.ndarray  # (B,) bool
+    events: np.ndarray  # (B,) int64 — event-loop iterations per row
+    horizon: np.ndarray  # (B,) float64
+
+    @property
+    def count(self) -> int:
+        return int(self.schedulable.shape[0])
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Fraction of rows with no deadline miss."""
+        return float(self.schedulable.mean())
+
+
+def _resolve_skip_blocked(scheduler: Union[str, Scheduler]) -> bool:
+    if isinstance(scheduler, str):
+        try:
+            return _SKIP_BLOCKED[scheduler]
+        except KeyError:
+            known = ", ".join(sorted(_SKIP_BLOCKED))
+            raise ValueError(f"unknown scheduler {scheduler!r}; known: {known}")
+    if isinstance(scheduler, Scheduler):
+        # Only the plain EDF queue order is replicated here; schedulers
+        # with a different priority order must use the scalar simulator.
+        name = getattr(scheduler, "name", "")
+        if name not in _SKIP_BLOCKED:
+            raise ValueError(
+                f"simulate_batch replicates EDF-NF/EDF-FkF only, got {name!r}"
+            )
+        return bool(scheduler.skip_blocked)
+    raise TypeError(f"scheduler must be a name or Scheduler, got {scheduler!r}")
+
+
+def _name_ranks(n_tasks: int) -> np.ndarray:
+    """Rank of each task index under the scalar tie-break.
+
+    ``batch.taskset`` names tasks ``tau1 .. tauN`` and the scalar EDF
+    queue breaks (deadline, release) ties by *string* comparison of
+    those names — so ``tau10`` beats ``tau2``.  Returns ``rank[i]`` =
+    position of ``tau{i+1}`` in lexicographic order.
+    """
+    order = sorted(range(n_tasks), key=lambda i: f"tau{i + 1}")
+    ranks = np.empty(n_tasks, dtype=np.int64)
+    for pos, i in enumerate(order):
+        ranks[i] = pos
+    return ranks
+
+
+def default_horizon_batch(batch: TaskSetBatch, factor: int = 20) -> np.ndarray:
+    """Per-row ``max D + factor * max T`` — the scalar
+    :func:`repro.sim.simulator.default_horizon`, vectorized (identical
+    float operations, so the horizons match the scalar path bit-exactly).
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    return batch.deadline.max(axis=1) + factor * batch.period.max(axis=1)
+
+
+def simulate_batch(
+    batch: TaskSetBatch,
+    capacity: float,
+    scheduler: Union[str, Scheduler] = "EDF-NF",
+    *,
+    horizon: Union[None, float, np.ndarray] = None,
+    horizon_factor: int = 20,
+    max_events: int = 1_000_000,
+    eps: float = TIME_EPS,
+) -> SimBatchResult:
+    """Simulate every row of ``batch`` on a ``capacity``-column device.
+
+    Vectorized analogue of running the scalar
+    ``simulate(batch.taskset(i), Fpga(width=capacity), scheduler,
+    default_horizon(·, horizon_factor))`` for each row — same verdicts,
+    one event-synchronized sweep.  ``horizon`` may be a scalar or a
+    ``(B,)`` array; when ``None`` it defaults per row to
+    :func:`default_horizon_batch`.
+
+    Rows whose event loop would exceed ``max_events`` (where the scalar
+    simulator raises ``SimulationError``) are recorded as not
+    schedulable and flagged in ``budget_exceeded`` instead of aborting
+    the batch.
+    """
+    skip_blocked = _resolve_skip_blocked(scheduler)
+    B, N = batch.count, batch.n_tasks
+    if np.any(batch.period <= eps):
+        raise ValueError("simulate_batch requires periods > eps")
+    if np.any(batch.deadline > batch.period):
+        raise ValueError(
+            "simulate_batch requires constrained deadlines (D <= T); "
+            "use the scalar simulator for unconstrained sets"
+        )
+    if np.any(batch.wcet <= eps) or np.any(batch.area <= 0):
+        # wcet <= eps would let a zero-work job linger past its deadline
+        # alongside a successor of the same task — a two-jobs-per-task
+        # state the one-slot-per-task layout cannot represent.
+        raise ValueError("simulate_batch requires wcet > eps and areas > 0")
+
+    if horizon is None:
+        hz = default_horizon_batch(batch, factor=horizon_factor)
+    else:
+        hz = np.broadcast_to(np.asarray(horizon, dtype=float), (B,)).copy()
+        if np.any(hz <= 0):
+            raise ValueError("horizon must be > 0")
+    if max_events < 1:
+        raise ValueError("max_events must be >= 1")
+
+    # -- final per-row outcome (scattered into as rows decide) ----------------
+    out_ok = np.ones(B, dtype=bool)
+    out_exceeded = np.zeros(B, dtype=bool)
+    out_events = np.zeros(B, dtype=np.int64)
+
+    # -- working set: live (undecided) rows only ------------------------------
+    # Task columns are permuted into lexicographic-name order once, so a
+    # *stable* 2-key lexsort (release, deadline) reproduces the scalar
+    # queue's full (deadline, release, name) tie-break for free.
+    perm = np.argsort(_name_ranks(N), kind="stable")
+    idx = np.arange(B)
+    wcet = np.array(batch.wcet[:, perm], dtype=float)
+    period = np.array(batch.period[:, perm], dtype=float)
+    deadline = np.array(batch.deadline[:, perm], dtype=float)
+    area = np.array(batch.area[:, perm], dtype=float)
+
+    INF = np.inf
+    # Inactivity is encoded as +inf: an inactive slot has abs_dl == inf
+    # (sorts behind every active job, never a deadline candidate) and
+    # area_m == inf (never fits, never accumulates).  Synchronous release
+    # at t=0 (the scalar pre-loop release_due(0)) activates everything.
+    remaining = wcet.copy()
+    rel = np.zeros((B, N))
+    abs_dl = rel + deadline
+    area_m = area.copy()
+    # next_rel slots are +inf once the next release would land at/after
+    # the horizon (the scalar loop just keeps filtering them out).
+    next_rel = rel + period
+    next_rel[next_rel >= hz[:, None]] = INF
+    now = np.zeros(B)
+    # Every live row steps one event per loop iteration, so a single
+    # scalar counter tracks each row's event count.
+    iteration = 0
+
+    rows = np.arange(B)[:, None]
+
+    def compact(keep: np.ndarray) -> None:
+        nonlocal idx, wcet, period, deadline, area, hz, rows
+        nonlocal remaining, rel, abs_dl, area_m, next_rel, now
+        idx = idx[keep]
+        wcet, period, deadline, area = (
+            wcet[keep], period[keep], deadline[keep], area[keep],
+        )
+        hz = hz[keep]
+        remaining, rel, abs_dl, area_m, next_rel = (
+            remaining[keep], rel[keep], abs_dl[keep], area_m[keep],
+            next_rel[keep],
+        )
+        now = now[keep]
+        rows = rows[: idx.size]
+
+    while idx.size:
+        iteration += 1
+        if iteration > max_events:
+            # The scalar simulator raises SimulationError here; record the
+            # still-undecided rows as not-schedulable-within-budget.
+            out_ok[idx] = False
+            out_exceeded[idx] = True
+            out_events[idx] = iteration
+            break
+        M = idx.size
+
+        # -- EDF selection: per-row (deadline, release) stable argsort, then
+        #    a left-to-right area accumulation with the same adds and the
+        #    same int-exact comparisons as the scalar queue.
+        order = np.lexsort((rel, abs_dl), axis=-1)
+        area_s = area_m[rows, order]
+        run_s = np.empty((M, N), dtype=bool)
+        if skip_blocked:  # EDF-NF: greedy, a blocked job is skipped
+            used = np.zeros(M)
+            for j in range(N):
+                a_j = area_s[:, j]
+                take = used + a_j <= capacity
+                used += np.where(take, a_j, 0.0)
+                run_s[:, j] = take
+        else:  # EDF-FkF: prefix, first blocked job stops the scan.
+            # Areas are positive, so the running sum over the active
+            # prefix is strictly increasing and "cumsum <= capacity" is
+            # exactly the largest-fitting-prefix rule (np.cumsum
+            # accumulates left-to-right like the scalar loop).
+            finite = np.isfinite(area_s)
+            csum = np.cumsum(np.where(finite, area_s, 0.0), axis=1)
+            np.less_equal(csum, capacity, out=run_s)
+            run_s &= finite
+        running = np.zeros((M, N), dtype=bool)
+        running[rows, order] = run_s
+
+        # -- next event per row: release, completion, or deadline expiry
+        #    (one fused axis-min over the element-wise minimum of the three
+        #    candidate kinds — same value as three separate mins).
+        now_col = now[:, None]
+        now_eps = now_col + eps
+        cand = np.minimum(
+            next_rel, np.where(running, now_col + remaining, INF)
+        )
+        np.minimum(cand, np.where(abs_dl > now_eps, abs_dl, INF), out=cand)
+        t_next = np.minimum(cand.min(axis=1), hz)
+
+        # -- advance the running jobs to t_next.
+        dt = t_next - now
+        adv = (dt > 0)[:, None] & running
+        remaining = np.where(adv, remaining - dt[:, None], remaining)
+        now = t_next
+        now_col = now[:, None]
+        now_eps = now_col + eps
+
+        # -- completions first (finishing exactly at the deadline succeeds).
+        completed = running & (remaining <= eps)
+        if completed.any():
+            abs_dl = np.where(completed, INF, abs_dl)
+            area_m = np.where(completed, INF, area_m)
+
+        # -- deadline misses decide the row (inactive slots have inf
+        #    deadlines and can never register here).
+        miss = (abs_dl <= now_eps) & (remaining > eps)
+        row_miss = miss.any(axis=1)
+        done = row_miss | (now >= hz - eps)
+        if done.any():
+            decided = idx[done]
+            out_ok[decided] = ~row_miss[done]
+            out_events[decided] = iteration
+            compact(~done)
+            if not idx.size:
+                break
+            now_eps = now[:, None] + eps
+
+        # -- releases due at the new `now` (one job per task; periods > eps
+        #    make the scalar while-loop a single pass).
+        due = next_rel <= now_eps
+        if due.any():
+            rel = np.where(due, next_rel, rel)
+            remaining = np.where(due, wcet, remaining)
+            abs_dl = np.where(due, next_rel + deadline, abs_dl)
+            area_m = np.where(due, area, area_m)
+            nxt = next_rel + period
+            next_rel = np.where(
+                due, np.where(nxt < hz[:, None], nxt, INF), next_rel
+            )
+
+    return SimBatchResult(
+        schedulable=out_ok,
+        budget_exceeded=out_exceeded,
+        events=out_events,
+        horizon=np.asarray(
+            default_horizon_batch(batch, factor=horizon_factor)
+            if horizon is None
+            else np.broadcast_to(np.asarray(horizon, dtype=float), (B,))
+        ),
+    )

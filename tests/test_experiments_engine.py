@@ -63,6 +63,28 @@ class TestBinnedBatchAt:
             binned_batch_at(paper_unconstrained(3), 10.0, 0, 5, rng_from_seed(1))
         with pytest.raises(ValueError):
             binned_batch_at(paper_unconstrained(3), 10.0, 1.0, 0, rng_from_seed(1))
+        with pytest.raises(ValueError):
+            binned_batch_at(paper_unconstrained(3), 10.0, 1.0, 5, rng_from_seed(1),
+                            chunk=0)
+
+    def test_adaptive_draw_sizing(self, monkeypatch):
+        """Small requests must not trigger flat 50k-set draws per round."""
+        import repro.experiments.acceptance as acc
+
+        sizes = []
+        real = acc.generate_batch
+
+        def spy(profile, count, rng):
+            sizes.append(count)
+            return real(profile, count, rng)
+
+        monkeypatch.setattr(acc, "generate_batch", spy)
+        batch = binned_batch_at(
+            paper_unconstrained(10), 60.0, 5.0, 25, rng_from_seed(11)
+        )
+        assert batch is not None and batch.count == 25
+        assert sizes[0] == 2048  # max(2048, 4*25), not 50_000
+        assert all(s <= 50_000 for s in sizes)
 
 
 class TestAcceptanceExperiment:
@@ -140,6 +162,10 @@ class TestAcceptanceExperiment:
             self._run(samples_per_point=0)
         with pytest.raises(ValueError):
             self._run(sampling="magic")
+        with pytest.raises(ValueError):
+            self._run(sim_backend="quantum")
+        with pytest.raises(ValueError):
+            self._run(bin_tolerance=0.0)
 
     def test_series_lookup(self):
         curves = self._run(sim_schedulers=())
@@ -149,6 +175,68 @@ class TestAcceptanceExperiment:
         assert curves["DP"].at(20.0) == curves["DP"].ratios[0]
         with pytest.raises(KeyError):
             curves["DP"].at(33.0)
+
+    def test_series_at_tolerates_computed_grids(self):
+        """Regression: linspace buckets differ from literals by ulps; an
+        exact == lookup used to KeyError on them."""
+        grid = np.linspace(0.1, 0.7, 3)  # 0.1, 0.4000000000000001, 0.7
+        series = AcceptanceSeries("DP", tuple(grid), (1.0, 0.5, 0.0))
+        assert series.at(0.4) == 0.5
+        assert series.at(grid[1]) == 0.5
+        assert series.at(0.1) == 1.0
+        with pytest.raises(KeyError):
+            series.at(0.5)
+
+    def test_vector_and_scalar_backends_agree(self):
+        """The tentpole contract: identical sim curves from both backends."""
+        v = self._run(sim_backend="vector", sim_samples_per_point=30)
+        s = self._run(sim_backend="scalar", sim_samples_per_point=30)
+        assert v["sim:EDF-NF"].ratios == s["sim:EDF-NF"].ratios
+        assert v.sim_budget_exceeded == s.sim_budget_exceeded == 0
+
+    def test_vector_backend_simulates_full_batch(self):
+        """No 200-set subsample cap on the vector backend."""
+        curves = self._run(samples_per_point=250, sim_samples_per_point=None)
+        assert curves.sim_samples_per_point == 250
+        scalar = self._run(
+            samples_per_point=250, sim_samples_per_point=None,
+            sim_backend="scalar", sim_schedulers=(),
+        )
+        assert scalar.sim_samples_per_point == 200
+
+    def test_event_budget_survives_sweep(self):
+        """A blown max_events budget must not abort the experiment."""
+        for backend in ("vector", "scalar"):
+            curves = self._run(sim_backend=backend, max_events=3)
+            assert curves.sim_budget_exceeded == 30  # 3 buckets x 10 sims
+            assert all(r == 0.0 for r in curves["sim:EDF-NF"].ratios)
+
+    def test_explicit_bin_tolerance(self):
+        curves = acceptance_experiment(
+            spatially_light_temporally_heavy(10),
+            Fpga(width=100),
+            [60.0],
+            samples_per_point=20,
+            seed=7,
+            tests=("GN1",),
+            sim_schedulers=(),
+            sampling="bin",
+            bin_tolerance=3.0,
+        )
+        assert not math.isnan(curves["GN1"].ratios[0])
+
+    def test_single_bucket_bin_requires_tolerance(self):
+        with pytest.raises(ValueError, match="bin_tolerance"):
+            acceptance_experiment(
+                spatially_light_temporally_heavy(10),
+                Fpga(width=100),
+                [60.0],
+                samples_per_point=20,
+                seed=7,
+                tests=("GN1",),
+                sim_schedulers=(),
+                sampling="bin",
+            )
 
     def test_rows_shape(self):
         curves = self._run(sim_schedulers=())

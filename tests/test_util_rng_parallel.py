@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.util.parallel import default_workers, parallel_map
+from repro.util.parallel import default_chunksize, default_workers, parallel_map
 from repro.util.rngutil import rng_from_seed, spawn_rngs
 
 
@@ -50,3 +50,22 @@ class TestParallelMap:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+    def test_default_chunksize_amortizes_pickling(self):
+        """Regression: chunksize used to default to 1, paying one pickle
+        round-trip per item for thousands of tiny sim jobs."""
+        assert default_chunksize(8000, 4) == 500
+        assert default_chunksize(100, 4) == 6
+        # degenerate inputs stay safe
+        assert default_chunksize(3, 8) == 1
+        assert default_chunksize(0, 4) == 1
+        assert default_chunksize(100, 0) == 1
+
+    def test_derived_chunksize_preserves_order(self):
+        items = list(range(64))
+        assert parallel_map(_square, items, workers=2) == [x * x for x in items]
+
+    def test_explicit_chunksize_preserves_order(self):
+        items = list(range(17))
+        got = parallel_map(_square, items, workers=2, chunksize=5)
+        assert got == [x * x for x in items]

@@ -1,0 +1,187 @@
+"""Cross-validation: batched simulator verdicts == scalar simulator verdicts.
+
+The contract (ISSUE: same ``sequential_sum`` discipline as the analytical
+vector tests) is *bit-identical* schedulability verdicts between
+:func:`repro.vector.sim_vec.simulate_batch` and the scalar
+:func:`repro.sim.simulator.simulate` run on ``batch.taskset(i)``, for
+EDF-NF and EDF-FkF, on random batches (float and integer periods) and on
+the paper's knife-edge tasksets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fpga.device import Fpga
+from repro.gen.profiles import (
+    GenerationProfile,
+    paper_unconstrained,
+    spatially_heavy_temporally_light,
+    spatially_light_temporally_heavy,
+)
+from repro.sched.edf_fkf import EdfFkf
+from repro.sched.edf_nf import EdfNf
+from repro.sched.edf_us import EdfUs, edf_us_threshold
+from repro.sim.simulator import SimulationError, default_horizon, simulate
+from repro.util.rngutil import rng_from_seed
+from repro.vector.batch import TaskSetBatch, generate_batch
+from repro.vector.sim_vec import default_horizon_batch, simulate_batch
+
+CAPACITY = 100
+FPGA = Fpga(width=CAPACITY)
+SCHEDULERS = [("EDF-NF", EdfNf), ("EDF-FkF", EdfFkf)]
+
+PROFILES = [
+    paper_unconstrained(2),
+    paper_unconstrained(4),
+    paper_unconstrained(10),
+    spatially_heavy_temporally_light(10),
+    spatially_light_temporally_heavy(10),
+    # integer periods: synchronized releases -> massive deadline ties,
+    # exercising the (release, name) tie-break incl. tau10 < tau2
+    GenerationProfile(n_tasks=6, integer_periods=True, name="int-periods-6"),
+    GenerationProfile(n_tasks=12, integer_periods=True, name="int-periods-12"),
+]
+
+
+def _batch(profile, seed, count=30):
+    """A batch spread over the utilization axis (mixed verdicts)."""
+    raw = generate_batch(profile, count, rng_from_seed(seed))
+    targets = rng_from_seed(seed + 100).uniform(20, 120, size=count)
+    scaled = raw.scaled_to_system_utilization(targets)
+    keep = scaled.feasible_mask
+    return TaskSetBatch(
+        scaled.wcet[keep], scaled.period[keep],
+        scaled.deadline[keep], scaled.area[keep],
+    )
+
+
+def _assert_verdicts_match(batch, sched_name, sched_cls, factor=5):
+    vec = simulate_batch(batch, CAPACITY, sched_name, horizon_factor=factor)
+    for i in range(batch.count):
+        ts = batch.taskset(i)
+        ref = simulate(
+            ts, FPGA, sched_cls(), default_horizon(ts, factor=factor)
+        ).schedulable
+        assert bool(vec.schedulable[i]) == ref, f"set {i}: {ts}"
+    return vec
+
+
+@pytest.mark.parametrize("sched_name,sched_cls", SCHEDULERS)
+@pytest.mark.parametrize("profile", PROFILES, ids=lambda p: p.name)
+class TestRandomBatchEquivalence:
+    def test_verdicts_bit_identical(self, profile, sched_name, sched_cls):
+        batch = _batch(profile, seed=1)
+        vec = _assert_verdicts_match(batch, sched_name, sched_cls)
+        assert not vec.budget_exceeded.any()
+        assert 0.0 <= vec.acceptance_ratio <= 1.0
+
+
+@pytest.mark.parametrize("sched_name,sched_cls", SCHEDULERS)
+class TestKnifeEdgeEquivalence:
+    def test_paper_tables(self, sched_name, sched_cls, table1, table2, table3):
+        """The paper's Tables 1-3 sets, simulated on the 10-column device."""
+        batch = TaskSetBatch.from_tasksets([table1, table2, table3])
+        vec = simulate_batch(batch, 10, sched_name, horizon_factor=5)
+        for i in range(3):
+            ts = batch.taskset(i)
+            ref = simulate(
+                ts, Fpga(width=10), sched_cls(), default_horizon(ts, factor=5)
+            ).schedulable
+            assert bool(vec.schedulable[i]) == ref
+
+    def test_identical_periods_tie_storm(self, sched_name, sched_cls):
+        """12 tasks, one shared period: every release ties every deadline,
+        so selection is decided purely by the name tie-break."""
+        rng = rng_from_seed(9)
+        n, b = 12, 20
+        period = np.full((b, n), 10.0)
+        wcet = rng.uniform(0.5, 6.0, size=(b, n))
+        area = rng.integers(5, 60, size=(b, n)).astype(float)
+        batch = TaskSetBatch(wcet, period, period.copy(), area)
+        _assert_verdicts_match(batch, sched_name, sched_cls)
+
+    def test_completion_exactly_at_deadline(self, sched_name, sched_cls):
+        """C == D: the job finishes exactly on its deadline — a success in
+        both simulators (completions are processed before miss checks)."""
+        wcet = np.array([[4.0, 3.0]])
+        period = np.array([[4.0, 6.0]])
+        area = np.array([[60.0, 40.0]])
+        batch = TaskSetBatch(wcet, period, period.copy(), area)
+        _assert_verdicts_match(batch, sched_name, sched_cls)
+
+
+class TestBudgetAndHorizon:
+    def test_budget_exceeded_rows_marked_not_schedulable(self):
+        batch = _batch(paper_unconstrained(4), seed=3, count=10)
+        res = simulate_batch(batch, CAPACITY, "EDF-NF", max_events=3)
+        assert res.budget_exceeded.all()
+        assert not res.schedulable.any()
+        # the scalar reference raises where the batch runner records
+        ts = batch.taskset(0)
+        with pytest.raises(SimulationError):
+            simulate(ts, FPGA, EdfNf(), default_horizon(ts), max_events=3)
+
+    def test_default_horizon_matches_scalar(self):
+        batch = _batch(paper_unconstrained(5), seed=4, count=8)
+        hz = default_horizon_batch(batch, factor=7)
+        for i in range(batch.count):
+            assert hz[i] == float(default_horizon(batch.taskset(i), factor=7))
+
+    def test_explicit_horizon_broadcasts(self):
+        batch = _batch(paper_unconstrained(3), seed=5, count=6)
+        scalar_h = simulate_batch(batch, CAPACITY, "EDF-NF", horizon=50.0)
+        array_h = simulate_batch(
+            batch, CAPACITY, "EDF-NF", horizon=np.full(batch.count, 50.0)
+        )
+        assert (scalar_h.schedulable == array_h.schedulable).all()
+        for i in range(batch.count):
+            ref = simulate(batch.taskset(i), FPGA, EdfNf(), 50.0).schedulable
+            assert bool(scalar_h.schedulable[i]) == ref
+
+    def test_events_counted(self):
+        batch = _batch(paper_unconstrained(3), seed=6, count=5)
+        res = simulate_batch(batch, CAPACITY, "EDF-NF", horizon_factor=3)
+        assert (res.events > 0).all()
+
+
+class TestValidation:
+    def _tiny(self):
+        return TaskSetBatch(
+            np.array([[1.0]]), np.array([[4.0]]),
+            np.array([[4.0]]), np.array([[2.0]]),
+        )
+
+    def test_scheduler_instances_accepted(self):
+        batch = self._tiny()
+        assert simulate_batch(batch, 10, EdfNf()).schedulable.all()
+        assert simulate_batch(batch, 10, EdfFkf()).schedulable.all()
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_batch(self._tiny(), 10, "RoundRobin")
+        with pytest.raises(ValueError):
+            simulate_batch(self._tiny(), 10, EdfUs(edf_us_threshold(2)))
+        with pytest.raises(TypeError):
+            simulate_batch(self._tiny(), 10, 42)
+
+    def test_unconstrained_deadline_rejected(self):
+        batch = TaskSetBatch(
+            np.array([[1.0]]), np.array([[4.0]]),
+            np.array([[5.0]]), np.array([[2.0]]),
+        )
+        with pytest.raises(ValueError):
+            simulate_batch(batch, 10)
+
+    def test_degenerate_parameters_rejected(self):
+        bad_wcet = TaskSetBatch(
+            np.array([[1e-12]]), np.array([[4.0]]),
+            np.array([[4.0]]), np.array([[2.0]]),
+        )
+        with pytest.raises(ValueError):
+            simulate_batch(bad_wcet, 10)
+        with pytest.raises(ValueError):
+            simulate_batch(self._tiny(), 10, horizon=0.0)
+        with pytest.raises(ValueError):
+            simulate_batch(self._tiny(), 10, max_events=0)
+        with pytest.raises(ValueError):
+            simulate_batch(self._tiny(), 10, horizon_factor=0)
