@@ -83,6 +83,7 @@ def _sim_batch():
     return raw.scaled_to_system_utilization(np.full(BATCH, 60.0))
 
 
+@pytest.mark.bench_smoke
 @pytest.mark.parametrize("sched_name,sched_cls",
                          [("EDF-NF", EdfNf), ("EDF-FkF", EdfFkf)])
 def test_bench_sim_batch_vector_vs_scalar(benchmark, sched_name, sched_cls):

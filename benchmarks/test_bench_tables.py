@@ -11,8 +11,10 @@ from repro.fpga.device import Fpga
 from repro.core.dp import dp_test
 from repro.core.gn1 import gn1_test
 from repro.core.gn2 import gn2_test
+import pytest
 
 
+@pytest.mark.bench_smoke
 def test_bench_table_matrix(benchmark):
     """Time the full 3x3 evaluation; assert it reproduces the paper."""
     outcomes = benchmark(run_tables)

@@ -38,6 +38,11 @@ def main() -> None:
                              "the scalar one)")
     parser.add_argument("--sim-backend", choices=("vector", "scalar"),
                         default="vector", dest="sim_backend")
+    parser.add_argument("--ci-target", type=float, default=None,
+                        dest="ci_target",
+                        help="adaptive bucket sizing: per-bucket draws stop "
+                             "once every series' 95%% CI half-width falls "
+                             "below this (capped at --samples)")
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--seed", type=int, default=2007)
     parser.add_argument("--out", type=Path, default=Path("results"))
@@ -58,16 +63,24 @@ def main() -> None:
             sim_backend=args.sim_backend,
             seed=args.seed,
             workers=args.workers,
+            ci_target=args.ci_target,
         )
         blocks.append(as_text(curves))
         (args.out / f"{fid}.csv").write_text(as_csv(curves))
         save_svg(curves, args.out / f"{fid}.svg")
 
     print("running ablations ...", flush=True)
-    blocks.append(as_text(alpha_ablation(samples=2 * args.samples, seed=31)))
+    blocks.append(as_text(alpha_ablation(samples=2 * args.samples, seed=31,
+                                         ci_target=args.ci_target)))
     blocks.append(as_text(nf_vs_fkf_ablation(samples=80, seed=37,
-                                             workers=args.workers)))
-    blocks.append(as_text(placement_ablation(samples=50, seed=41)))
+                                             workers=args.workers,
+                                             ci_target=args.ci_target)))
+    # Placement curves run on the vectorized array free-list, so full
+    # paper-scale buckets are affordable (the scalar path capped this
+    # at ~50 sets per bucket).
+    blocks.append(as_text(placement_ablation(samples=max(50, args.samples // 4),
+                                             seed=41,
+                                             sim_backend=args.sim_backend)))
     blocks.append(as_text(offset_ablation(samples=50, seed=43)))
 
     data = "\n\n".join(blocks)

@@ -32,6 +32,7 @@ from repro.sched.edf_nf import EdfNf
 from repro.sim.offsets import simulate_with_offsets
 from repro.sim.simulator import MigrationMode, default_horizon, simulate
 from repro.util.rngutil import rng_from_seed, spawn_rngs
+from repro.vector.sim_vec import simulate_batch
 
 
 def alpha_ablation(
@@ -39,6 +40,7 @@ def alpha_ablation(
     us_grid: Sequence[float] = tuple(range(10, 100, 10)),
     samples: int = 2000,
     seed: int = 31,
+    ci_target: Optional[float] = None,
 ) -> AcceptanceCurves:
     """DP with integer-area α vs Danne's real-area α (no simulation)."""
     profile = profile or paper_unconstrained(10)
@@ -51,6 +53,7 @@ def alpha_ablation(
         tests=("DP", "DP-real"),
         sim_schedulers=(),
         name="ablation: integer vs real alpha",
+        ci_target=ci_target,
     )
 
 
@@ -61,6 +64,7 @@ def nf_vs_fkf_ablation(
     seed: int = 37,
     workers: int = 1,
     sim_backend: str = "vector",
+    ci_target: Optional[float] = None,
 ) -> AcceptanceCurves:
     """Simulated acceptance of the two global EDF variants."""
     profile = profile or paper_unconstrained(10)
@@ -72,10 +76,11 @@ def nf_vs_fkf_ablation(
         seed=seed,
         tests=(),
         sim_schedulers=("EDF-NF", "EDF-FkF"),
-        sim_samples_per_point=samples,
+        sim_samples_per_point=None if ci_target is not None else samples,
         sim_backend=sim_backend,
         workers=workers,
         name="ablation: EDF-NF vs EDF-FkF (simulation)",
+        ci_target=ci_target,
     )
 
 
@@ -86,39 +91,55 @@ def placement_ablation(
     seed: int = 41,
     policies: Sequence[PlacementPolicy] = (PlacementPolicy.FIRST_FIT,),
     horizon_factor: int = 10,
+    sim_backend: str = "vector",
+    fpga: Optional[Fpga] = None,
 ) -> AcceptanceCurves:
     """Simulated acceptance: free migration vs contiguous placement modes.
 
     Quantifies the cost of dropping the paper's unrestricted-migration
     assumption — the gap between ``FREE`` and ``RELOCATABLE`` is pure
-    fragmentation loss; ``PINNED`` additionally loses relocation.
+    fragmentation loss; ``PINNED`` additionally loses relocation.  Pass
+    an ``fpga`` with static regions to study pre-fragmented devices.
+
+    Every mode/policy curve shares the same per-bucket batches, so the
+    gaps are paired comparisons.  ``sim_backend="vector"`` (default)
+    runs each curve through the batched simulator's array free-list and
+    makes full paper-scale buckets affordable; ``"scalar"`` walks the
+    per-taskset event loop (bit-identical verdicts, for cross-checks).
     """
     profile = profile or paper_unconstrained(10)
-    fpga = Fpga(width=100)
+    if sim_backend not in ("vector", "scalar"):
+        raise ValueError(f"unknown sim_backend {sim_backend!r}")
+    fpga = fpga or Fpga(width=100)
     rngs = spawn_rngs(seed, len(us_grid))
-    labels = ["sim:FREE"] + [
-        f"sim:RELOC/{p.value}" for p in policies
-    ] + ["sim:PINNED"]
-    ratios: Dict[str, list] = {label: [] for label in labels}
+    configs = [("sim:FREE", MigrationMode.FREE, PlacementPolicy.FIRST_FIT)]
+    configs += [
+        (f"sim:RELOC/{p.value}", MigrationMode.RELOCATABLE, p) for p in policies
+    ]
+    configs += [("sim:PINNED", MigrationMode.PINNED, PlacementPolicy.FIRST_FIT)]
+    ratios: Dict[str, list] = {label: [] for label, _, _ in configs}
     for i, us in enumerate(us_grid):
         batch = feasible_batch_at(profile, float(us), samples, rngs[i])
-        tasksets = batch.to_tasksets()
-        outcomes: Dict[str, int] = {label: 0 for label in labels}
-        for ts in tasksets:
-            horizon = default_horizon(ts, factor=horizon_factor)
-            outcomes["sim:FREE"] += simulate(
-                ts, fpga, EdfNf(), horizon, mode=MigrationMode.FREE
-            ).schedulable
-            for p in policies:
-                outcomes[f"sim:RELOC/{p.value}"] += simulate(
-                    ts, fpga, EdfNf(), horizon,
-                    mode=MigrationMode.RELOCATABLE, placement_policy=p,
-                ).schedulable
-            outcomes["sim:PINNED"] += simulate(
-                ts, fpga, EdfNf(), horizon, mode=MigrationMode.PINNED
-            ).schedulable
-        for label in labels:
-            ratios[label].append(outcomes[label] / len(tasksets))
+        if sim_backend == "vector":
+            for label, mode, policy in configs:
+                res = simulate_batch(
+                    batch, fpga, "EDF-NF",
+                    mode=mode, placement_policy=policy,
+                    horizon_factor=horizon_factor,
+                )
+                ratios[label].append(res.acceptance_ratio)
+        else:
+            tasksets = batch.to_tasksets()
+            outcomes: Dict[str, int] = {label: 0 for label, _, _ in configs}
+            for ts in tasksets:
+                horizon = default_horizon(ts, factor=horizon_factor)
+                for label, mode, policy in configs:
+                    outcomes[label] += simulate(
+                        ts, fpga, EdfNf(), horizon,
+                        mode=mode, placement_policy=policy,
+                    ).schedulable
+            for label, _, _ in configs:
+                ratios[label].append(outcomes[label] / len(tasksets))
     buckets = tuple(float(u) for u in us_grid)
     return AcceptanceCurves(
         name="ablation: placement modes",

@@ -5,14 +5,21 @@ profile, rescaled so ``US(Γ)`` hits the bucket exactly, then record the
 fraction accepted by each schedulability test and by simulation.  Tests
 run vectorized over the whole batch; simulation runs either on the whole
 batch as well (``sim_backend="vector"`` — the default, via
-:func:`repro.vector.sim_vec.simulate_batch`) or one taskset at a time on
+:func:`repro.vector.sim_vec.simulate_batch`, in any
+:class:`~repro.sim.simulator.MigrationMode`) or one taskset at a time on
 a subsample, optionally across worker processes
 (``sim_backend="scalar"``).  Both backends produce bit-identical
-verdicts for the engine's FREE-migration configuration; tasksets whose
-event loop blows the ``max_events`` budget are recorded as
-not-schedulable-within-budget and counted in
-:attr:`AcceptanceCurves.sim_budget_exceeded` instead of aborting the
-sweep.
+verdicts per configuration; tasksets whose event loop blows the
+``max_events`` budget are recorded as not-schedulable-within-budget and
+counted in :attr:`AcceptanceCurves.sim_budget_exceeded` instead of
+aborting the sweep.
+
+Bucket sizes are either flat (``samples_per_point`` tasksets each) or
+adaptive (``ci_target``): a pilot draw per bucket estimates each series'
+acceptance probability and the bucket is extended only as far as needed
+for a 95% confidence-interval half-width of ``ci_target``, with
+``samples_per_point`` as the cap — saturated buckets (ratios near 0/1)
+get cheap, knife-edge buckets get the full budget.
 """
 
 from __future__ import annotations
@@ -24,9 +31,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.fpga.device import Fpga
+from repro.fpga.placement import PlacementPolicy
 from repro.gen.profiles import GenerationProfile
 from repro.sched.edf_fkf import EdfFkf
 from repro.sched.edf_nf import EdfNf
+from repro.sim.simulator import MigrationMode
 from repro.util.parallel import parallel_map
 from repro.util.rngutil import rng_from_seed, spawn_rngs
 from repro.vector.batch import TaskSetBatch, generate_batch
@@ -34,6 +43,11 @@ from repro.vector.dp_vec import dp_accepts
 from repro.vector.gn1_vec import gn1_accepts
 from repro.vector.gn2_vec import gn2_accepts
 from repro.vector.sim_vec import simulate_batch
+
+#: 95% two-sided normal quantile for the ``ci_target`` bucket sizing.
+_CI_Z = 1.96
+#: Smallest pilot draw the adaptive mode will take per bucket.
+_CI_PILOT_MIN = 32
 
 #: Vectorized analytical tests available to the engine.
 TEST_FUNCS = {
@@ -83,6 +97,9 @@ class AcceptanceCurves:
     #: Simulations that blew the ``max_events`` budget and were recorded
     #: as not schedulable (0 on healthy sweeps).
     sim_budget_exceeded: int = 0
+    #: Actual tasksets drawn per bucket when adaptive (``ci_target``)
+    #: sizing ran; ``None`` for flat ``samples_per_point`` sweeps.
+    bucket_samples: Optional[Tuple[int, ...]] = None
 
     def __getitem__(self, label: str) -> AcceptanceSeries:
         for s in self.series:
@@ -224,19 +241,36 @@ def _simulate_one(args) -> Tuple[bool, bool]:
     cannot abort a whole sweep — the set counts as not schedulable
     within budget.
     """
-    taskset, capacity, scheduler_name, horizon_factor, max_events = args
+    taskset, fpga, scheduler_name, mode, policy, horizon_factor, max_events = args
     from repro.sim.simulator import SimulationError, default_horizon, simulate
 
     scheduler = _SCHEDULERS[scheduler_name]()
     horizon = default_horizon(taskset, factor=horizon_factor)
     try:
         result = simulate(
-            taskset, Fpga(width=capacity), scheduler, horizon,
+            taskset, fpga, scheduler, horizon,
+            mode=mode, placement_policy=policy,
             max_events=max_events,
         )
     except SimulationError:
         return False, True
     return result.schedulable, False
+
+
+def _ci_required_samples(counts: Dict[str, List[int]], ci_target: float) -> int:
+    """Samples needed so every series' 95% CI half-width <= ``ci_target``.
+
+    Uses the worst (largest-variance) add-one-smoothed estimate across
+    the series, so a pilot that saw only 0s or 1s still carries a small
+    non-degenerate variance instead of claiming certainty.
+    """
+    worst = 0.0
+    for hits, n in counts.values():
+        if n == 0:
+            continue
+        p = (hits + 1) / (n + 2)
+        worst = max(worst, p * (1 - p))
+    return math.ceil(_CI_Z * _CI_Z * worst / (ci_target * ci_target))
 
 
 def acceptance_experiment(
@@ -250,21 +284,27 @@ def acceptance_experiment(
     sim_schedulers: Sequence[str] = ("EDF-NF",),
     sim_samples_per_point: Optional[int] = None,
     sim_backend: str = "vector",
+    sim_mode: MigrationMode = MigrationMode.FREE,
+    sim_policy: PlacementPolicy = PlacementPolicy.FIRST_FIT,
     horizon_factor: int = 20,
     max_events: int = 1_000_000,
     workers: int = 1,
     name: Optional[str] = None,
     sampling: str = "rescale",
     bin_tolerance: Optional[float] = None,
+    ci_target: Optional[float] = None,
 ) -> AcceptanceCurves:
     """Run the full §6 experiment for one workload profile.
 
     ``tests`` picks analytical curves from :data:`TEST_FUNCS`;
-    ``sim_schedulers`` adds simulation curves (labelled ``sim:<name>``).
+    ``sim_schedulers`` adds simulation curves (labelled ``sim:<name>``),
+    simulated under ``sim_mode``/``sim_policy`` (the paper's FREE
+    migration by default; RELOCATABLE/PINNED quantify the §7 placement
+    cost, honouring ``fpga``'s static regions on both backends).
 
     ``sim_backend`` selects how those curves are computed:
 
-    - ``"vector"`` (default): the batched FREE-mode simulator
+    - ``"vector"`` (default): the batched simulator
       (:func:`repro.vector.sim_vec.simulate_batch`) runs the *whole*
       bucket — ``sim_samples_per_point`` defaults to
       ``samples_per_point``, so the sim curve sees every taskset the
@@ -287,11 +327,24 @@ def acceptance_experiment(
     grid has no spacing to derive it from, so ``"bin"`` then *requires*
     an explicit ``bin_tolerance``.  Binned buckets that attract no
     samples yield ``nan``.
+
+    ``ci_target`` switches per-bucket sizing from flat to adaptive: each
+    bucket starts with a pilot draw (a tenth of the budget, at least
+    ``_CI_PILOT_MIN``) and is extended only until every series' 95%
+    confidence-interval half-width falls below ``ci_target``, capped at
+    ``samples_per_point``.  The per-bucket draw counts are recorded in
+    :attr:`AcceptanceCurves.bucket_samples`.  Adaptive sizing needs every
+    series to cover the full bucket, so it requires the vector sim
+    backend (or no sim curves) and rejects an explicit sim subsample.
     """
     if sampling not in ("rescale", "bin"):
         raise ValueError(f"unknown sampling mode {sampling!r}")
     if sim_backend not in ("vector", "scalar"):
         raise ValueError(f"unknown sim_backend {sim_backend!r}")
+    if not isinstance(sim_mode, MigrationMode):
+        raise ValueError(f"sim_mode must be a MigrationMode, got {sim_mode!r}")
+    if not isinstance(sim_policy, PlacementPolicy):
+        raise ValueError(f"sim_policy must be a PlacementPolicy, got {sim_policy!r}")
     unknown = set(tests) - set(TEST_FUNCS)
     if unknown:
         raise ValueError(f"unknown tests: {sorted(unknown)}")
@@ -302,6 +355,20 @@ def acceptance_experiment(
         raise ValueError("samples_per_point must be >= 1")
     if bin_tolerance is not None and bin_tolerance <= 0:
         raise ValueError("bin_tolerance must be > 0")
+    if ci_target is not None:
+        if not (0 < ci_target < 0.5):
+            raise ValueError("ci_target must be in (0, 0.5)")
+        if sim_schedulers:
+            if sim_backend != "vector":
+                raise ValueError(
+                    "ci_target sizing requires sim_backend='vector' "
+                    "(every series must cover the full bucket)"
+                )
+            if sim_samples_per_point is not None and sim_samples_per_point > 0:
+                raise ValueError(
+                    "ci_target sizing simulates full buckets; drop "
+                    "sim_samples_per_point (or set it to 0 to disable sim)"
+                )
     if sim_samples_per_point is None:
         sim_n = (
             samples_per_point
@@ -312,9 +379,10 @@ def acceptance_experiment(
         sim_n = min(sim_samples_per_point, samples_per_point)
     capacity = fpga.capacity
 
-    ratios: Dict[str, List[float]] = {t: [] for t in tests}
-    for s in sim_schedulers:
-        ratios[f"sim:{s}"] = []
+    sim_labels = [f"sim:{s}" for s in sim_schedulers]
+    labels = list(tests) + sim_labels
+    ratios: Dict[str, List[float]] = {label: [] for label in labels}
+    bucket_samples: List[int] = []
 
     grid_list = [float(u) for u in us_grid]
     if bin_tolerance is not None:
@@ -331,25 +399,25 @@ def acceptance_experiment(
     budget_exceeded = 0
     rngs = spawn_rngs(seed, len(us_grid))
     for bucket_idx, us_target in enumerate(grid_list):
-        if sampling == "rescale":
-            batch = feasible_batch_at(
-                profile, us_target, samples_per_point, rngs[bucket_idx]
-            )
-        else:
-            batch = binned_batch_at(
-                profile, us_target, tolerance, samples_per_point, rngs[bucket_idx]
-            )
-        if batch is None:
+        rng = rngs[bucket_idx]
+
+        def draw(n: int) -> Optional[TaskSetBatch]:
+            if sampling == "rescale":
+                return feasible_batch_at(profile, us_target, n, rng)
+            return binned_batch_at(profile, us_target, tolerance, n, rng)
+
+        #: per-series (hits, denominator) over this bucket's draws.
+        counts: Dict[str, List[int]] = {label: [0, 0] for label in labels}
+
+        def accumulate(batch: TaskSetBatch) -> None:
+            nonlocal budget_exceeded
             for test in tests:
-                ratios[test].append(float("nan"))
-            for sched in sim_schedulers:
-                ratios[f"sim:{sched}"].append(float("nan"))
-            continue
-        for test in tests:
-            mask = TEST_FUNCS[test](batch, capacity)
-            ratios[test].append(float(mask.mean()))
-        if sim_schedulers and sim_n > 0:
-            k = min(sim_n, batch.count)
+                mask = TEST_FUNCS[test](batch, capacity)
+                counts[test][0] += int(mask.sum())
+                counts[test][1] += batch.count
+            if not sim_schedulers or sim_n <= 0:
+                return
+            k = batch.count if ci_target is not None else min(sim_n, batch.count)
             if sim_backend == "vector":
                 sub = TaskSetBatch(
                     batch.wcet[:k], batch.period[:k],
@@ -357,29 +425,56 @@ def acceptance_experiment(
                 )
                 for sched in sim_schedulers:
                     res = simulate_batch(
-                        sub, capacity, sched,
+                        sub, fpga, sched,
+                        mode=sim_mode, placement_policy=sim_policy,
                         horizon_factor=horizon_factor, max_events=max_events,
                     )
-                    ratios[f"sim:{sched}"].append(
-                        int(res.schedulable.sum()) / k
-                    )
+                    counts[f"sim:{sched}"][0] += int(res.schedulable.sum())
+                    counts[f"sim:{sched}"][1] += k
                     budget_exceeded += int(res.budget_exceeded.sum())
             else:
                 tasksets = [batch.taskset(i) for i in range(k)]
                 for sched in sim_schedulers:
                     args = [
-                        (ts, capacity, sched, horizon_factor, max_events)
+                        (ts, fpga, sched, sim_mode, sim_policy,
+                         horizon_factor, max_events)
                         for ts in tasksets
                     ]
                     outcomes = parallel_map(_simulate_one, args, workers=workers)
-                    ratios[f"sim:{sched}"].append(
-                        sum(ok for ok, _ in outcomes) / len(outcomes)
-                    )
+                    counts[f"sim:{sched}"][0] += sum(ok for ok, _ in outcomes)
+                    counts[f"sim:{sched}"][1] += len(outcomes)
                     budget_exceeded += sum(ex for _, ex in outcomes)
+
+        if ci_target is None:
+            first_n = samples_per_point
+        else:
+            first_n = min(
+                samples_per_point,
+                max(_CI_PILOT_MIN, math.ceil(samples_per_point / 10)),
+            )
+        batch = draw(first_n)
+        if batch is None:
+            for label in labels:
+                ratios[label].append(float("nan"))
+            bucket_samples.append(0)
+            continue
+        accumulate(batch)
+        drawn = batch.count
+        if ci_target is not None:
+            needed = min(samples_per_point, _ci_required_samples(counts, ci_target))
+            if needed > drawn:
+                extra = draw(needed - drawn)
+                if extra is not None:
+                    accumulate(extra)
+                    drawn += extra.count
+        bucket_samples.append(drawn)
+        for label in labels:
+            hits, n = counts[label]
+            ratios[label].append(hits / n if n else float("nan"))
 
     buckets = tuple(float(u) for u in us_grid)
     series = tuple(
-        AcceptanceSeries(label, buckets, tuple(vals)) for label, vals in ratios.items()
+        AcceptanceSeries(label, buckets, tuple(ratios[label])) for label in labels
     )
     return AcceptanceCurves(
         name=name or profile.name,
@@ -388,4 +483,5 @@ def acceptance_experiment(
         sim_samples_per_point=sim_n,
         series=series,
         sim_budget_exceeded=budget_exceeded,
+        bucket_samples=tuple(bucket_samples) if ci_target is not None else None,
     )

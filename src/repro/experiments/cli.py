@@ -42,8 +42,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sim-backend", choices=("vector", "scalar"),
                      default="vector", dest="sim_backend",
                      help="simulation backend: 'vector' runs the batched "
-                          "FREE-mode simulator over full buckets, 'scalar' "
-                          "the per-taskset event loop on a subsample")
+                          "simulator (all migration modes) over full "
+                          "buckets, 'scalar' the per-taskset event loop "
+                          "on a subsample")
+    run.add_argument("--ci-target", type=float, default=None, dest="ci_target",
+                     metavar="HALF_WIDTH",
+                     help="adaptive bucket sizing: draw per-bucket samples "
+                          "until every series' 95%% CI half-width is below "
+                          "this (capped at --samples); applies to the "
+                          "acceptance-engine experiments")
     run.add_argument("--format", choices=("text", "csv", "markdown"), default="text")
     run.add_argument("--out", type=Path, default=None, help="write to file")
     run.add_argument("--plot", action="store_true",
@@ -152,7 +159,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     exp = get_experiment(args.experiment)
     samples = args.samples if args.samples is not None else exp.default_samples
     curves = exp.runner(samples, args.seed, args.workers,
-                        sim_backend=args.sim_backend)
+                        sim_backend=args.sim_backend,
+                        ci_target=args.ci_target)
     output = render(curves, args.format)
     if args.plot:
         lines = [output, ""]

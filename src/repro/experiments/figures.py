@@ -95,6 +95,7 @@ def run_figure(
     sim_backend: str = "vector",
     workers: int = 1,
     horizon_factor: int = 20,
+    ci_target: Optional[float] = None,
 ) -> AcceptanceCurves:
     """Regenerate one of the paper's figures as an acceptance-curve table.
 
@@ -103,9 +104,16 @@ def run_figure(
     simulates the full bucket on the (default) vector backend and a
     200-set subsample on the scalar one; 0 disables the simulation curve
     (and keeps the label out as well).
+
+    ``ci_target`` switches bucket sizing from flat ``samples`` to
+    adaptive: each bucket draws only as many tasksets as its series need
+    for a 95% CI half-width of ``ci_target``, with ``samples`` as the
+    cap (see :func:`~repro.experiments.acceptance.acceptance_experiment`).
     """
     spec = FIGURES[figure_id]
     sim_enabled = sim_samples is None or sim_samples > 0
+    if ci_target is not None and sim_enabled:
+        sim_samples = None  # adaptive sizing simulates the full bucket
     return acceptance_experiment(
         spec.profile,
         Fpga(width=spec.capacity),
@@ -120,4 +128,5 @@ def run_figure(
         horizon_factor=horizon_factor,
         name=spec.title,
         sampling=spec.sampling,
+        ci_target=ci_target,
     )

@@ -21,14 +21,20 @@ class Experiment:
 
     experiment_id: str
     description: str
-    #: (samples, seed, workers, sim_backend="vector") -> AcceptanceCurves
+    #: (samples, seed, workers, sim_backend="vector", ci_target=None)
+    #: -> AcceptanceCurves.  Runners that cannot honour a knob (e.g.
+    #: ci_target on the offset search) accept and ignore it.
     runner: Callable[..., AcceptanceCurves]
     default_samples: int
 
 
 def _figure_runner(figure_id: str):
     def run(
-        samples: int, seed: int, workers: int, sim_backend: str = "vector"
+        samples: int,
+        seed: int,
+        workers: int,
+        sim_backend: str = "vector",
+        ci_target: Optional[float] = None,
     ) -> AcceptanceCurves:
         # The vector backend simulates the whole bucket; the scalar one
         # keeps the historical 1-in-10 subsample to stay affordable.
@@ -40,6 +46,7 @@ def _figure_runner(figure_id: str):
             sim_samples=sim_samples,
             sim_backend=sim_backend,
             workers=workers,
+            ci_target=ci_target,
         )
 
     return run
@@ -58,35 +65,42 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "ablation-alpha": Experiment(
         "ablation-alpha",
         "DP with integer-area alpha vs Danne's real-area alpha",
-        lambda samples, seed, workers, sim_backend="vector": ablations.alpha_ablation(
-            samples=samples, seed=seed
-        ),
+        lambda samples, seed, workers, sim_backend="vector", ci_target=None:
+            ablations.alpha_ablation(
+                samples=samples, seed=seed, ci_target=ci_target
+            ),
         default_samples=2000,
     ),
     "ablation-nf-fkf": Experiment(
         "ablation-nf-fkf",
         "Simulated acceptance of EDF-NF vs EDF-FkF",
-        lambda samples, seed, workers, sim_backend="vector": ablations.nf_vs_fkf_ablation(
-            samples=samples, seed=seed, workers=workers, sim_backend=sim_backend
-        ),
+        lambda samples, seed, workers, sim_backend="vector", ci_target=None:
+            ablations.nf_vs_fkf_ablation(
+                samples=samples, seed=seed, workers=workers,
+                sim_backend=sim_backend, ci_target=ci_target,
+            ),
         default_samples=60,
     ),
-    # Placement-aware and offset-searched ablations stay on the scalar
-    # simulator: they exercise modes the vector backend does not cover.
+    # The placement ablation runs on the vectorized array free-list by
+    # default (scalar kept for cross-checks); only the offset search
+    # still needs the scalar event loop, which the vector backend does
+    # not replicate (batched offsets are a ROADMAP item).
     "ablation-placement": Experiment(
         "ablation-placement",
         "Free migration vs contiguous placement (fragmentation cost)",
-        lambda samples, seed, workers, sim_backend="vector": ablations.placement_ablation(
-            samples=samples, seed=seed
-        ),
-        default_samples=40,
+        lambda samples, seed, workers, sim_backend="vector", ci_target=None:
+            ablations.placement_ablation(
+                samples=samples, seed=seed, sim_backend=sim_backend
+            ),
+        default_samples=400,
     ),
     "ablation-offsets": Experiment(
         "ablation-offsets",
         "Synchronous-release simulation vs offset-searched upper bound",
-        lambda samples, seed, workers, sim_backend="vector": ablations.offset_ablation(
-            samples=samples, seed=seed
-        ),
+        lambda samples, seed, workers, sim_backend="vector", ci_target=None:
+            ablations.offset_ablation(
+                samples=samples, seed=seed
+            ),
         default_samples=40,
     ),
 }

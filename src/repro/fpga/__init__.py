@@ -11,6 +11,7 @@ cost) and the corresponding ablation experiments.
 
 from repro.fpga.device import Fpga, StaticRegion
 from repro.fpga.freelist import FreeList, Allocation
+from repro.fpga.intervals import Interval, spans_to_words, word_count, words_to_spans
 from repro.fpga.placement import PlacementPolicy, choose_interval
 from repro.fpga.reconfig import ReconfigurationModel, inflate_taskset
 
@@ -19,8 +20,12 @@ __all__ = [
     "StaticRegion",
     "FreeList",
     "Allocation",
+    "Interval",
     "PlacementPolicy",
     "choose_interval",
+    "spans_to_words",
+    "word_count",
+    "words_to_spans",
     "ReconfigurationModel",
     "inflate_taskset",
 ]

@@ -1,7 +1,11 @@
 """Free-interval manager for contiguous 1D column allocation.
 
 Tracks the free/occupied state of the device's columns as a sorted list of
-maximal free intervals.  Invariants (enforced, and property-tested):
+maximal free intervals.  The interval representation and its mutation
+primitives live in :mod:`repro.fpga.intervals` — the same source of truth
+the batched :class:`repro.vector.placement_vec.BatchFreeList` encodes as
+per-row uint64 bitmaps — so the scalar and vectorized simulators cannot
+drift apart.  Invariants (enforced, and property-tested):
 
 * free intervals are disjoint, sorted, non-empty, and maximal (no two
   adjacent intervals touch — they would have been coalesced);
@@ -17,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.fpga import intervals as iv
 from repro.fpga.device import Fpga
 from repro.fpga.placement import PlacementPolicy, choose_interval
 
@@ -55,11 +60,11 @@ class FreeList:
 
     @property
     def total_free(self) -> int:
-        return sum(e - s for s, e in self._free)
+        return iv.total_width(self._free)
 
     @property
     def largest_hole(self) -> int:
-        return max((e - s for s, e in self._free), default=0)
+        return iv.largest_width(self._free)
 
     @property
     def occupied(self) -> int:
@@ -75,8 +80,7 @@ class FreeList:
 
     def is_free(self, start: int, width: int) -> bool:
         """True iff ``[start, start+width)`` lies entirely inside a free hole."""
-        end = start + width
-        return any(s <= start and end <= e for s, e in self._free)
+        return iv.contains_span(self._free, start, width)
 
     # -- mutations ---------------------------------------------------------
 
@@ -102,27 +106,20 @@ class FreeList:
         """
         if key in self._allocs:
             raise FreeListError(f"key {key!r} already has an allocation")
-        end = start + width
-        for idx, (s, e) in enumerate(self._free):
-            if s <= start and end <= e:
-                # Split the hole into up to two remnants.
-                replacement = []
-                if s < start:
-                    replacement.append((s, start))
-                if end < e:
-                    replacement.append((end, e))
-                self._free[idx : idx + 1] = replacement
-                alloc = Allocation(key, start, width)
-                self._allocs[key] = alloc
-                return alloc
-        raise FreeListError(f"interval [{start},{end}) is not free")
+        try:
+            self._free = iv.carve(self._free, start, width)
+        except ValueError:
+            raise FreeListError(f"interval [{start},{start + width}) is not free")
+        alloc = Allocation(key, start, width)
+        self._allocs[key] = alloc
+        return alloc
 
     def release(self, key: object) -> None:
         """Free the allocation held by ``key``, coalescing neighbours."""
         alloc = self._allocs.pop(key, None)
         if alloc is None:
             raise FreeListError(f"no allocation for key {key!r}")
-        self._insert_free(alloc.start, alloc.end)
+        self._free = iv.insert_coalesced(self._free, alloc.start, alloc.end)
 
     def release_all(self) -> None:
         """Drop every allocation (defragment to the device's free spans)."""
@@ -131,29 +128,9 @@ class FreeList:
 
     # -- internals -----------------------------------------------------------
 
-    def _insert_free(self, start: int, end: int) -> None:
-        """Insert ``[start, end)`` into the sorted free list, coalescing."""
-        idx = 0
-        while idx < len(self._free) and self._free[idx][0] < start:
-            idx += 1
-        self._free.insert(idx, (start, end))
-        # Coalesce with right neighbour, then left.
-        if idx + 1 < len(self._free) and self._free[idx][1] == self._free[idx + 1][0]:
-            s, _ = self._free[idx]
-            _, e = self._free[idx + 1]
-            self._free[idx : idx + 2] = [(s, e)]
-        if idx > 0 and self._free[idx - 1][1] == self._free[idx][0]:
-            s, _ = self._free[idx - 1]
-            _, e = self._free[idx]
-            self._free[idx - 1 : idx + 1] = [(s, e)]
-
     def check_invariants(self) -> None:
         """Assert structural invariants (used by tests and the simulator)."""
-        prev_end = -1
-        for s, e in self._free:
-            assert s < e, f"empty free interval ({s},{e})"
-            assert s > prev_end, "free intervals not sorted/maximal"
-            prev_end = e
+        iv.check_sorted_maximal(self._free, self._fpga.width)
         allocs = sorted(self._allocs.values(), key=lambda a: a.start)
         for a, b in zip(allocs, allocs[1:]):
             assert a.end <= b.start, f"allocations {a} and {b} overlap"

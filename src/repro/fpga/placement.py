@@ -5,14 +5,21 @@ irrelevant (a job fits iff total free area suffices).  The §7 future-work
 experiments drop that assumption: a job then needs a contiguous hole, and
 the choice of hole determines fragmentation.  These are the three classic
 policies the paper names (§1, assumption bullet 4).
+
+:func:`choose_interval` is the *reference* hole chooser, consumed by the
+scalar :class:`repro.fpga.freelist.FreeList`; the batched simulator's
+bitmap kernels (:mod:`repro.vector.placement_vec`) replicate its exact
+candidate set and tie-breaks over whole batches at once and are
+cross-validated against it property-by-property.  The interval
+representation itself lives in :mod:`repro.fpga.intervals`.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-Interval = Tuple[int, int]  # half-open (start, end)
+from repro.fpga.intervals import Interval
 
 
 class PlacementPolicy(enum.Enum):

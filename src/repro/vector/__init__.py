@@ -5,9 +5,15 @@ scalar tests one taskset at a time is needlessly slow in Python.  This
 package holds struct-of-arrays batches (:class:`TaskSetBatch`),
 numpy-vectorized implementations of DP, GN1 and GN2 that process whole
 batches at once (GN2 in bounded-memory chunks), and a batched
-event-synchronized EDF simulator (:func:`simulate_batch`) for the
-paper's FREE-migration mode, so the acceptance engine's ``sim:`` curves
-run over full buckets instead of a subsample.
+event-synchronized EDF simulator (:func:`simulate_batch`) covering every
+migration mode of the scalar simulator: the paper's FREE mode (pure
+capacity check) *and* the §7 placement-aware RELOCATABLE/PINNED modes,
+which run on an array-encoded free-list — per-row uint64 column bitmaps
+(:class:`BatchFreeList`) with vectorized first/best/worst-fit hole
+kernels sharing one interval representation with the scalar path
+(:mod:`repro.fpga.intervals`).  The acceptance engine's ``sim:`` curves
+and the placement ablation therefore run over full buckets instead of a
+subsample.
 
 The scalar implementations in :mod:`repro.core` and
 :mod:`repro.sim.simulator` remain the reference — the test-suite
@@ -18,6 +24,7 @@ from repro.vector.batch import TaskSetBatch, generate_batch
 from repro.vector.dp_vec import dp_accepts
 from repro.vector.gn1_vec import gn1_accepts
 from repro.vector.gn2_vec import gn2_accepts
+from repro.vector.placement_vec import BatchFreeList, choose_batch
 from repro.vector.sim_vec import SimBatchResult, default_horizon_batch, simulate_batch
 
 __all__ = [
@@ -26,6 +33,8 @@ __all__ = [
     "dp_accepts",
     "gn1_accepts",
     "gn2_accepts",
+    "BatchFreeList",
+    "choose_batch",
     "SimBatchResult",
     "default_horizon_batch",
     "simulate_batch",

@@ -4,32 +4,43 @@ The acceptance-ratio experiments need a *simulation* curve as the
 ground-truth envelope above the analytical tests (paper §6) — but the
 scalar :func:`repro.sim.simulator.simulate` walks one taskset at a time
 through a Python event loop, which forced the engine to subsample sim to
-a few hundred sets per bucket.  This module simulates the paper's
-FREE-migration mode for a *whole batch at once*: a job runs iff total
-free area suffices (no placement geometry), so every scheduling decision
-is a per-row deadline sort plus a left-to-right area accumulation — both
-of which vectorize over the batch dimension.
+a few hundred sets per bucket.  This module simulates a *whole batch at
+once* in every migration mode of the scalar simulator:
+
+* ``MigrationMode.FREE`` — the paper's model: a job runs iff total free
+  area suffices, so each scheduling decision is a per-row deadline sort
+  plus a left-to-right area accumulation;
+* ``MigrationMode.RELOCATABLE`` / ``MigrationMode.PINNED`` — the §7
+  placement-aware modes: each decision re-places the priority-ordered
+  jobs into *contiguous* holes of a per-row bitmap free-list
+  (:class:`repro.vector.placement_vec.BatchFreeList`, seeded from the
+  device's static-region-fragmented free spans), preferring a job's
+  previous columns, with first/best/worst-fit fallback (RELOCATABLE) or
+  no fallback at all once pinned (PINNED).
 
 Scope (exactly the configuration the acceptance engine uses):
 
-* ``MigrationMode.FREE`` only — placement-aware modes need per-row
-  free-list geometry and stay on the scalar path;
 * zero reconfiguration overhead, synchronous release (all offsets 0);
 * ``stop_at_first_miss`` semantics — the verdict is the product;
 * constrained deadlines (``D <= T``), so at most one job per task is
   live at any decision point (a predecessor either completed or missed,
-  and a miss ends the row).
+  and a miss ends the row);
+* placement-aware modes additionally require integral task areas, like
+  the scalar simulator.
 
 State is struct-of-arrays over ``(B, N)`` — ``remaining``,
-``next_release``, absolute deadlines, a per-row event clock — and each
-step advances every live row to its *own* next event (rows are not
-synchronized to a global clock).  Decided rows are compacted out, so the
-per-step cost tracks the number of still-undecided sets.
+``next_release``, absolute deadlines, per-task positions/pins, a per-row
+event clock — and each step advances every live row to its *own* next
+event (rows are not synchronized to a global clock).  Decided rows are
+compacted out, so the per-step cost tracks the number of still-undecided
+sets.
 
 Bit-exactness discipline: the float operations (release accumulation,
 ``now + remaining`` completion times, ``remaining - dt`` advances, area
 prefix sums) are performed in the same order and with the same operands
-as the scalar reference, so verdicts are bit-identical to
+as the scalar reference, and all placement geometry is integer
+arithmetic on the shared interval representation
+(:mod:`repro.fpga.intervals`), so verdicts are bit-identical to
 ``simulate(batch.taskset(i), ...)`` — the same contract
 :func:`repro.vector.batch.sequential_sum` gives the analytical tests.
 The EDF tie-break replicates the scalar queue exactly, including the
@@ -40,13 +51,18 @@ The EDF tie-break replicates the scalar queue exactly, including the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.fpga.device import Fpga
+from repro.fpga.intervals import spans_to_words, word_count
+from repro.fpga.placement import PlacementPolicy
 from repro.sched.base import Scheduler
+from repro.sim.simulator import MigrationMode
 from repro.util.mathutil import TIME_EPS
 from repro.vector.batch import TaskSetBatch
+from repro.vector.placement_vec import choose_batch, clear_spans, span_free
 
 #: scheduler name -> skip_blocked (EDF-NF skips a job that does not fit,
 #: EDF-FkF stops at the first one — see repro.sched.base.Scheduler).
@@ -62,12 +78,16 @@ class SimBatchResult:
     of budget are additionally flagged in ``budget_exceeded`` (the
     scalar simulator raises ``SimulationError`` there — the batch runner
     records the row as not-schedulable-within-budget and keeps going).
+    ``mode``/``policy`` record the migration model the batch ran under
+    (``policy`` is ``None`` in FREE mode, where placement is moot).
     """
 
     schedulable: np.ndarray  # (B,) bool
     budget_exceeded: np.ndarray  # (B,) bool
     events: np.ndarray  # (B,) int64 — event-loop iterations per row
     horizon: np.ndarray  # (B,) float64
+    mode: MigrationMode = MigrationMode.FREE
+    policy: Optional[PlacementPolicy] = None
 
     @property
     def count(self) -> int:
@@ -75,7 +95,9 @@ class SimBatchResult:
 
     @property
     def acceptance_ratio(self) -> float:
-        """Fraction of rows with no deadline miss."""
+        """Fraction of rows with no deadline miss (nan for empty batches)."""
+        if self.count == 0:
+            return float("nan")
         return float(self.schedulable.mean())
 
 
@@ -123,32 +145,130 @@ def default_horizon_batch(batch: TaskSetBatch, factor: int = 20) -> np.ndarray:
     return batch.deadline.max(axis=1) + factor * batch.period.max(axis=1)
 
 
+def _select_placement(
+    order: np.ndarray,
+    area_m: np.ndarray,
+    area_i: np.ndarray,
+    pos: np.ndarray,
+    pin: Optional[np.ndarray],
+    device_words: np.ndarray,
+    device_width: int,
+    policy: PlacementPolicy,
+    skip_blocked: bool,
+) -> np.ndarray:
+    """One placement-aware scheduling decision for every live row.
+
+    Replicates the scalar ``select_running`` exactly: walk the jobs in
+    EDF priority order; a PINNED job with a recorded pin may only resume
+    on those exact columns; otherwise a job prefers its previous columns
+    and falls back to the placement policy; EDF-FkF stops a row's scan
+    at its first blocked job, EDF-NF skips it.  ``pos``/``pin`` are
+    updated in place; returns the ``(M, N)`` running mask.
+    """
+    M, N = order.shape
+    n_words = device_words.shape[0]
+    words = np.tile(device_words, (M, 1))
+    running = np.zeros((M, N), dtype=bool)
+    stopped = np.zeros(M, dtype=bool) if not skip_blocked else None
+    # Per row, active jobs sort ahead of inactive slots, so priority
+    # position j holds an active job iff the row has > j active jobs.
+    # Each step compresses to the rows that still have a candidate —
+    # late priority positions involve few rows, and all per-step work
+    # scales with that count.
+    n_act = np.isfinite(area_m).sum(axis=1)
+    for j in range(int(n_act.max(initial=0))):
+        act = n_act > j
+        if stopped is not None:
+            act &= ~stopped
+        ar = np.nonzero(act)[0]
+        if ar.size == 0:
+            break
+        slot = order[ar, j]
+        w = area_i[ar, slot]
+        wsub = words[ar]
+        placed_at = np.full(ar.size, -1, dtype=np.int64)
+        if pin is not None:
+            p = pin[ar, slot]
+            # A pinned job may only resume on its recorded columns — no
+            # fallback; rows without a pin fall through to prev/choose.
+            ok = span_free(wsub, p, w, device_width, n_words)
+            placed_at[ok] = p[ok]
+            rest = p < 0
+            prev = np.where(rest, pos[ar, slot], np.int64(-1))
+        else:
+            rest = None
+            prev = pos[ar, slot]
+        okp = span_free(wsub, prev, w, device_width, n_words)
+        placed_at[okp] = prev[okp]
+        need = placed_at < 0
+        if rest is not None:
+            need &= rest
+        nr = np.nonzero(need)[0]
+        if nr.size:
+            placed_at[nr] = choose_batch(wsub[nr], w[nr], device_width, policy)
+        placed = placed_at >= 0
+        pr = np.nonzero(placed)[0]
+        if pr.size:
+            rp, sp, st, wp = ar[pr], slot[pr], placed_at[pr], w[pr]
+            clear_spans(words, rp, st, wp, n_words)
+            running[rp, sp] = True
+            pos[rp, sp] = st
+            if pin is not None:
+                fresh = np.nonzero(p[pr] < 0)[0]
+                if fresh.size:
+                    pin[rp[fresh], sp[fresh]] = st[fresh]
+        if stopped is not None:
+            stopped[ar[~placed]] = True
+    return running
+
+
 def simulate_batch(
     batch: TaskSetBatch,
-    capacity: float,
+    capacity: Union[float, Fpga],
     scheduler: Union[str, Scheduler] = "EDF-NF",
     *,
+    mode: MigrationMode = MigrationMode.FREE,
+    placement_policy: PlacementPolicy = PlacementPolicy.FIRST_FIT,
     horizon: Union[None, float, np.ndarray] = None,
     horizon_factor: int = 20,
     max_events: int = 1_000_000,
     eps: float = TIME_EPS,
 ) -> SimBatchResult:
-    """Simulate every row of ``batch`` on a ``capacity``-column device.
+    """Simulate every row of ``batch`` on one device geometry.
 
     Vectorized analogue of running the scalar
-    ``simulate(batch.taskset(i), Fpga(width=capacity), scheduler,
-    default_horizon(·, horizon_factor))`` for each row — same verdicts,
-    one event-synchronized sweep.  ``horizon`` may be a scalar or a
+    ``simulate(batch.taskset(i), fpga, scheduler,
+    default_horizon(·, horizon_factor), mode=mode,
+    placement_policy=placement_policy)`` for each row — same verdicts,
+    one event-synchronized sweep.  ``capacity`` is either a plain column
+    count (no static regions) or an :class:`~repro.fpga.device.Fpga`,
+    whose static regions pre-fragment the placement-aware free space
+    exactly as in the scalar path.  ``horizon`` may be a scalar or a
     ``(B,)`` array; when ``None`` it defaults per row to
     :func:`default_horizon_batch`.
 
     Rows whose event loop would exceed ``max_events`` (where the scalar
     simulator raises ``SimulationError``) are recorded as not
     schedulable and flagged in ``budget_exceeded`` instead of aborting
-    the batch.
+    the batch.  An empty batch (``B == 0``) yields an empty result.
     """
     skip_blocked = _resolve_skip_blocked(scheduler)
+    use_placement = mode is not MigrationMode.FREE
     B, N = batch.count, batch.n_tasks
+    if N == 0:
+        raise ValueError("simulate_batch requires at least one task per row")
+    if isinstance(capacity, Fpga):
+        device = capacity
+        capacity = device.capacity
+    elif use_placement:
+        if capacity != int(capacity):
+            raise ValueError(
+                "placement-aware modes need an integral device width "
+                f"(or an Fpga), got {capacity!r}"
+            )
+        device = Fpga(width=int(capacity))
+    else:
+        device = None
     if np.any(batch.period <= eps):
         raise ValueError("simulate_batch requires periods > eps")
     if np.any(batch.deadline > batch.period):
@@ -161,6 +281,9 @@ def simulate_batch(
         # alongside a successor of the same task — a two-jobs-per-task
         # state the one-slot-per-task layout cannot represent.
         raise ValueError("simulate_batch requires wcet > eps and areas > 0")
+    if use_placement and np.any(batch.area != np.floor(batch.area)):
+        # Mirrors the scalar simulator's all_integral_area requirement.
+        raise ValueError("placement-aware modes require integral task areas")
 
     if horizon is None:
         hz = default_horizon_batch(batch, factor=horizon_factor)
@@ -171,10 +294,22 @@ def simulate_batch(
     if max_events < 1:
         raise ValueError("max_events must be >= 1")
 
+    result_policy = placement_policy if use_placement else None
+
     # -- final per-row outcome (scattered into as rows decide) ----------------
     out_ok = np.ones(B, dtype=bool)
     out_exceeded = np.zeros(B, dtype=bool)
     out_events = np.zeros(B, dtype=np.int64)
+
+    if B == 0:
+        return SimBatchResult(
+            schedulable=out_ok,
+            budget_exceeded=out_exceeded,
+            events=out_events,
+            horizon=np.zeros(0, dtype=float),
+            mode=mode,
+            policy=result_policy,
+        )
 
     # -- working set: live (undecided) rows only ------------------------------
     # Task columns are permuted into lexicographic-name order once, so a
@@ -205,11 +340,20 @@ def simulate_batch(
     # scalar counter tracks each row's event count.
     iteration = 0
 
+    # -- placement-aware state (per task slot; one live job per task) ---------
+    if use_placement:
+        device_words = spans_to_words(device.free_spans(), device.width)
+        area_i = area.astype(np.int64)
+        pos = np.full((B, N), -1, dtype=np.int64)
+        pin = np.full((B, N), -1, dtype=np.int64) if mode is MigrationMode.PINNED else None
+    else:
+        pos = pin = None
+
     rows = np.arange(B)[:, None]
 
     def compact(keep: np.ndarray) -> None:
         nonlocal idx, wcet, period, deadline, area, hz, rows
-        nonlocal remaining, rel, abs_dl, area_m, next_rel, now
+        nonlocal remaining, rel, abs_dl, area_m, next_rel, now, area_i, pos, pin
         idx = idx[keep]
         wcet, period, deadline, area = (
             wcet[keep], period[keep], deadline[keep], area[keep],
@@ -220,6 +364,10 @@ def simulate_batch(
             next_rel[keep],
         )
         now = now[keep]
+        if use_placement:
+            area_i, pos = area_i[keep], pos[keep]
+            if pin is not None:
+                pin = pin[keep]
         rows = rows[: idx.size]
 
     while idx.size:
@@ -234,29 +382,35 @@ def simulate_batch(
         M = idx.size
 
         # -- EDF selection: per-row (deadline, release) stable argsort, then
-        #    a left-to-right area accumulation with the same adds and the
-        #    same int-exact comparisons as the scalar queue.
+        #    either the FREE-mode area accumulation or the placement-aware
+        #    contiguous-hole walk — same adds/comparisons as the scalar path.
         order = np.lexsort((rel, abs_dl), axis=-1)
-        area_s = area_m[rows, order]
-        run_s = np.empty((M, N), dtype=bool)
-        if skip_blocked:  # EDF-NF: greedy, a blocked job is skipped
-            used = np.zeros(M)
-            for j in range(N):
-                a_j = area_s[:, j]
-                take = used + a_j <= capacity
-                used += np.where(take, a_j, 0.0)
-                run_s[:, j] = take
-        else:  # EDF-FkF: prefix, first blocked job stops the scan.
-            # Areas are positive, so the running sum over the active
-            # prefix is strictly increasing and "cumsum <= capacity" is
-            # exactly the largest-fitting-prefix rule (np.cumsum
-            # accumulates left-to-right like the scalar loop).
-            finite = np.isfinite(area_s)
-            csum = np.cumsum(np.where(finite, area_s, 0.0), axis=1)
-            np.less_equal(csum, capacity, out=run_s)
-            run_s &= finite
-        running = np.zeros((M, N), dtype=bool)
-        running[rows, order] = run_s
+        if use_placement:
+            running = _select_placement(
+                order, area_m, area_i, pos, pin,
+                device_words, device.width, placement_policy, skip_blocked,
+            )
+        else:
+            area_s = area_m[rows, order]
+            run_s = np.empty((M, N), dtype=bool)
+            if skip_blocked:  # EDF-NF: greedy, a blocked job is skipped
+                used = np.zeros(M)
+                for j in range(N):
+                    a_j = area_s[:, j]
+                    take = used + a_j <= capacity
+                    used += np.where(take, a_j, 0.0)
+                    run_s[:, j] = take
+            else:  # EDF-FkF: prefix, first blocked job stops the scan.
+                # Areas are positive, so the running sum over the active
+                # prefix is strictly increasing and "cumsum <= capacity" is
+                # exactly the largest-fitting-prefix rule (np.cumsum
+                # accumulates left-to-right like the scalar loop).
+                finite = np.isfinite(area_s)
+                csum = np.cumsum(np.where(finite, area_s, 0.0), axis=1)
+                np.less_equal(csum, capacity, out=run_s)
+                run_s &= finite
+            running = np.zeros((M, N), dtype=bool)
+            running[rows, order] = run_s
 
         # -- next event per row: release, completion, or deadline expiry
         #    (one fused axis-min over the element-wise minimum of the three
@@ -282,6 +436,12 @@ def simulate_batch(
         if completed.any():
             abs_dl = np.where(completed, INF, abs_dl)
             area_m = np.where(completed, INF, area_m)
+            if use_placement:
+                # The scalar loop pops positions/pins on completion; the
+                # successor job of the task starts unplaced.
+                pos[completed] = -1
+                if pin is not None:
+                    pin[completed] = -1
 
         # -- deadline misses decide the row (inactive slots have inf
         #    deadlines and can never register here).
@@ -319,4 +479,6 @@ def simulate_batch(
             if horizon is None
             else np.broadcast_to(np.asarray(horizon, dtype=float), (B,))
         ),
+        mode=mode,
+        policy=result_policy,
     )

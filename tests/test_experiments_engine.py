@@ -16,7 +16,7 @@ from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.report import as_csv, as_markdown, as_text, render, sparkline
 from repro.experiments.tables import run_tables, render_tables
-from repro.fpga.device import Fpga
+from repro.fpga.device import Fpga, StaticRegion
 from repro.gen.profiles import paper_unconstrained, spatially_light_temporally_heavy
 from repro.util.rngutil import rng_from_seed
 
@@ -323,3 +323,140 @@ class TestReport:
             assert render(self._curves(), fmt)
         with pytest.raises(ValueError):
             render(self._curves(), "xml")
+
+
+class TestCiTargetSizing:
+    """Adaptive per-bucket sampling (ROADMAP: size buckets by CI width)."""
+
+    def _run(self, **kw):
+        defaults = dict(
+            profile=paper_unconstrained(4),
+            fpga=Fpga(width=100),
+            us_grid=[10.0, 50.0, 90.0],
+            samples_per_point=400,
+            seed=9,
+            horizon_factor=5,
+        )
+        defaults.update(kw)
+        return acceptance_experiment(**defaults)
+
+    def test_uncertain_buckets_draw_more_samples(self):
+        """Buckets whose series sit near 0/1 stop near the pilot size;
+        the bucket with the most knife-edge ratios spends the most."""
+        curves = self._run(ci_target=0.05)
+        assert curves.bucket_samples is not None
+        assert len(curves.bucket_samples) == 3
+        assert all(32 <= n <= 400 for n in curves.bucket_samples)
+        assert max(curves.bucket_samples) > min(curves.bucket_samples)
+        # the most-uncertain bucket (worst p(1-p) across series) gets
+        # the largest draw
+        variance = [
+            max(s.ratios[i] * (1 - s.ratios[i]) for s in curves.series)
+            for i in range(3)
+        ]
+        assert curves.bucket_samples.index(max(curves.bucket_samples)) == (
+            variance.index(max(variance))
+        )
+        # flat mode records no per-bucket counts
+        assert self._run().bucket_samples is None
+
+    def test_tighter_target_draws_more(self):
+        loose = self._run(ci_target=0.1)
+        tight = self._run(ci_target=0.02)
+        assert sum(tight.bucket_samples) >= sum(loose.bucket_samples)
+
+    def test_reproducible(self):
+        a = self._run(ci_target=0.05)
+        b = self._run(ci_target=0.05)
+        assert a.series == b.series
+        assert a.bucket_samples == b.bucket_samples
+
+    def test_ratios_stay_sane_and_monotone_enough(self):
+        curves = self._run(ci_target=0.05)
+        for s in curves.series:
+            assert all(0 <= r <= 1 for r in s.ratios)
+        for label in ("DP", "GN1", "GN2"):
+            r = curves[label].ratios
+            assert r[0] >= r[-1]
+
+    def test_binned_sampling_supported(self):
+        curves = acceptance_experiment(
+            spatially_light_temporally_heavy(10),
+            Fpga(width=100),
+            [55.0, 65.0],
+            samples_per_point=200,
+            seed=11,
+            tests=("GN1",),
+            sim_schedulers=(),
+            sampling="bin",
+            ci_target=0.08,
+        )
+        assert curves.bucket_samples is not None
+        assert all(n <= 200 for n in curves.bucket_samples)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._run(ci_target=0.0)
+        with pytest.raises(ValueError):
+            self._run(ci_target=0.7)
+        with pytest.raises(ValueError):
+            self._run(ci_target=0.05, sim_backend="scalar")
+        with pytest.raises(ValueError):
+            self._run(ci_target=0.05, sim_samples_per_point=10)
+        # scalar backend is fine when no sim curves are requested
+        curves = self._run(
+            ci_target=0.1, sim_backend="scalar", sim_schedulers=()
+        )
+        assert curves.bucket_samples is not None
+
+    def test_run_figure_and_cli_expose_ci_target(self):
+        curves = run_figure("fig3a", samples=200, seed=3, ci_target=0.1)
+        assert curves.bucket_samples is not None
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "fig3a", "--ci-target", "0.05"]
+        )
+        assert args.ci_target == 0.05
+
+
+class TestSimModeThreading:
+    """mode/policy reach the engine's sim curves on both backends."""
+
+    def _run(self, **kw):
+        from repro.fpga.placement import PlacementPolicy
+        from repro.sim.simulator import MigrationMode
+
+        defaults = dict(
+            profile=paper_unconstrained(4),
+            fpga=Fpga(width=30, static_regions=(StaticRegion(12, 3),)),
+            us_grid=[12.0, 20.0],
+            samples_per_point=12,
+            seed=13,
+            tests=(),
+            sim_samples_per_point=12,
+            horizon_factor=4,
+            sim_mode=MigrationMode.RELOCATABLE,
+            sim_policy=PlacementPolicy.BEST_FIT,
+        )
+        defaults.update(kw)
+        return acceptance_experiment(**defaults)
+
+    def test_vector_and_scalar_agree_in_placement_mode(self):
+        v = self._run(sim_backend="vector")
+        s = self._run(sim_backend="scalar")
+        assert v["sim:EDF-NF"].ratios == s["sim:EDF-NF"].ratios
+
+    def test_placement_mode_is_no_more_accepting_than_free(self):
+        from repro.sim.simulator import MigrationMode
+
+        placed = self._run(sim_backend="vector")
+        free = self._run(sim_backend="vector", sim_mode=MigrationMode.FREE)
+        for p, f in zip(placed["sim:EDF-NF"].ratios, free["sim:EDF-NF"].ratios):
+            assert p <= f + 1e-12
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            self._run(sim_mode="relocatable")
+        with pytest.raises(ValueError):
+            self._run(sim_policy="best-fit")

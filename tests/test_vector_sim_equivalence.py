@@ -4,14 +4,19 @@ The contract (ISSUE: same ``sequential_sum`` discipline as the analytical
 vector tests) is *bit-identical* schedulability verdicts between
 :func:`repro.vector.sim_vec.simulate_batch` and the scalar
 :func:`repro.sim.simulator.simulate` run on ``batch.taskset(i)``, for
-EDF-NF and EDF-FkF, on random batches (float and integer periods) and on
-the paper's knife-edge tasksets.
+EDF-NF and EDF-FkF, on random batches (float and integer periods), on
+the paper's knife-edge tasksets, and — for the placement-aware
+RELOCATABLE/PINNED modes — under every placement policy, with and
+without static-region pre-fragmentation.
 """
+
+import warnings
 
 import numpy as np
 import pytest
 
-from repro.fpga.device import Fpga
+from repro.fpga.device import Fpga, StaticRegion
+from repro.fpga.placement import PlacementPolicy
 from repro.gen.profiles import (
     GenerationProfile,
     paper_unconstrained,
@@ -21,7 +26,12 @@ from repro.gen.profiles import (
 from repro.sched.edf_fkf import EdfFkf
 from repro.sched.edf_nf import EdfNf
 from repro.sched.edf_us import EdfUs, edf_us_threshold
-from repro.sim.simulator import SimulationError, default_horizon, simulate
+from repro.sim.simulator import (
+    MigrationMode,
+    SimulationError,
+    default_horizon,
+    simulate,
+)
 from repro.util.rngutil import rng_from_seed
 from repro.vector.batch import TaskSetBatch, generate_batch
 from repro.vector.sim_vec import default_horizon_batch, simulate_batch
@@ -142,6 +152,191 @@ class TestBudgetAndHorizon:
         batch = _batch(paper_unconstrained(3), seed=6, count=5)
         res = simulate_batch(batch, CAPACITY, "EDF-NF", horizon_factor=3)
         assert (res.events > 0).all()
+
+
+#: Narrow devices make fragmentation bite at small batch sizes, so the
+#: scalar reference stays affordable while verdicts remain mixed.
+PLACEMENT_DEVICES = [
+    Fpga(width=30),
+    Fpga(width=30, static_regions=(StaticRegion(8, 3), StaticRegion(20, 2))),
+]
+PLACEMENT_MODES = [MigrationMode.RELOCATABLE, MigrationMode.PINNED]
+NARROW = GenerationProfile(n_tasks=5, area_min=1, area_max=12, name="narrow-5")
+
+
+def _placement_batch(seed, count=12):
+    raw = generate_batch(NARROW, count, rng_from_seed(seed))
+    targets = rng_from_seed(seed + 50).uniform(8.0, 34.0, size=count)
+    scaled = raw.scaled_to_system_utilization(targets)
+    keep = scaled.feasible_mask
+    return TaskSetBatch(
+        scaled.wcet[keep], scaled.period[keep],
+        scaled.deadline[keep], scaled.area[keep],
+    )
+
+
+def _assert_placement_match(batch, fpga, mode, policy, sched_name, sched_cls,
+                            factor=4):
+    vec = simulate_batch(
+        batch, fpga, sched_name,
+        mode=mode, placement_policy=policy, horizon_factor=factor,
+    )
+    assert vec.mode is mode and vec.policy is policy
+    for i in range(batch.count):
+        ts = batch.taskset(i)
+        ref = simulate(
+            ts, fpga, sched_cls(), default_horizon(ts, factor=factor),
+            mode=mode, placement_policy=policy,
+        ).schedulable
+        assert bool(vec.schedulable[i]) == ref, (
+            f"set {i} under {mode}/{policy.value}/{sched_name}: {ts}"
+        )
+    return vec
+
+
+@pytest.mark.parametrize("fpga", PLACEMENT_DEVICES,
+                         ids=["plain", "static-regions"])
+@pytest.mark.parametrize("policy", list(PlacementPolicy),
+                         ids=lambda p: p.value)
+@pytest.mark.parametrize("mode", PLACEMENT_MODES, ids=lambda m: m.value)
+class TestPlacementEquivalence:
+    def test_verdicts_bit_identical_nf(self, mode, policy, fpga):
+        batch = _placement_batch(seed=21)
+        vec = _assert_placement_match(batch, fpga, mode, policy, "EDF-NF", EdfNf)
+        assert not vec.budget_exceeded.any()
+
+    def test_verdicts_bit_identical_fkf(self, mode, policy, fpga):
+        batch = _placement_batch(seed=22)
+        _assert_placement_match(batch, fpga, mode, policy, "EDF-FkF", EdfFkf)
+
+
+class TestPlacementKnifeEdges:
+    def test_static_region_fragmentation_blocks(self):
+        """8 free columns split 4+4 by a static block: an area-5 job runs
+        under FREE (capacity check) but not under RELOCATABLE — the same
+        witness as the scalar test_sim_placement_modes case."""
+        fpga = Fpga(width=10, static_regions=(StaticRegion(4, 2),))
+        batch = TaskSetBatch(
+            np.array([[2.0]]), np.array([[10.0]]),
+            np.array([[4.0]]), np.array([[5.0]]),
+        )
+        free = simulate_batch(batch, fpga, "EDF-NF", horizon_factor=1)
+        reloc = simulate_batch(
+            batch, fpga, "EDF-NF", mode=MigrationMode.RELOCATABLE,
+            horizon_factor=1,
+        )
+        assert free.schedulable.all()
+        assert not reloc.schedulable.any()
+
+    def test_exact_fill_contiguous(self):
+        """Widths 6+4 exactly fill the 10-column device; the third job is
+        blocked at zero remaining columns (NF skips it, FkF stops)."""
+        wcet = np.array([[3.0, 3.0, 2.0]])
+        period = np.array([[10.0, 10.0, 10.0]])
+        area = np.array([[6.0, 4.0, 3.0]])
+        batch = TaskSetBatch(wcet, period, period.copy(), area)
+        for sched_name, sched_cls in SCHEDULERS:
+            for mode in PLACEMENT_MODES:
+                for policy in PlacementPolicy:
+                    _assert_placement_match(
+                        batch, Fpga(width=10), mode, policy,
+                        sched_name, sched_cls, factor=2,
+                    )
+
+    def test_pinned_resume_requires_original_columns(self):
+        """The scalar pinned-eviction witness, through the batch path."""
+        # long: C=10, T=D=20, A=6; burst: C=1, T=5, D=2, A=10.
+        wcet = np.array([[10.0, 1.0]])
+        period = np.array([[20.0, 5.0]])
+        deadline = np.array([[20.0, 2.0]])
+        area = np.array([[6.0, 10.0]])
+        batch = TaskSetBatch(wcet, period, deadline, area)
+        for policy in PlacementPolicy:
+            _assert_placement_match(
+                batch, Fpga(width=10), MigrationMode.PINNED, policy,
+                "EDF-NF", EdfNf, factor=2,
+            )
+
+
+class TestEdgeCases:
+    def test_empty_batch(self):
+        """B == 0 must yield an empty result (and a quiet nan ratio),
+        not a reduction error — callers slice batches freely."""
+        empty = TaskSetBatch(*(np.empty((0, 3)) for _ in range(4)))
+        for mode in MigrationMode:
+            res = simulate_batch(
+                empty, Fpga(width=10), "EDF-NF", mode=mode, horizon=5.0
+            )
+            assert res.count == 0
+            assert res.schedulable.shape == (0,)
+            assert not res.budget_exceeded.any()
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert np.isnan(res.acceptance_ratio)
+
+    def test_zero_task_rows_rejected(self):
+        degenerate = TaskSetBatch(*(np.empty((2, 0)) for _ in range(4)))
+        with pytest.raises(ValueError):
+            simulate_batch(degenerate, 10)
+
+    def test_single_task_rows(self):
+        """N == 1 exercises the degenerate sort/selection shapes."""
+        batch = _batch(paper_unconstrained(1), seed=8, count=12)
+        for sched_name, sched_cls in SCHEDULERS:
+            _assert_verdicts_match(batch, sched_name, sched_cls)
+        for mode in PLACEMENT_MODES:
+            _assert_placement_match(
+                batch, FPGA, mode, PlacementPolicy.FIRST_FIT, "EDF-NF", EdfNf
+            )
+
+    def test_zero_remaining_capacity_tie(self):
+        """Areas summing *exactly* to the capacity: the boundary of the
+        <= fit comparison must match the scalar queue for both fit
+        disciplines (NF skips the overflowing job, FkF stops on it)."""
+        wcet = np.array([[2.0, 2.0, 1.0], [2.0, 2.0, 1.0]])
+        period = np.array([[8.0, 8.0, 3.0], [8.0, 8.0, 2.9]])
+        area = np.array([[60.0, 40.0, 10.0], [60.0, 40.0, 10.0]])
+        batch = TaskSetBatch(wcet, period, period.copy(), area)
+        for sched_name, sched_cls in SCHEDULERS:
+            vec = _assert_verdicts_match(batch, sched_name, sched_cls, factor=2)
+            assert vec.count == 2
+
+    def test_oversized_area_never_places(self):
+        """Regression: an area wider than the device (here wider than
+        256, past the narrow hole dtype) must block forever — the raw
+        width used to wrap in the uint8 comparison and falsely place."""
+        fpga = Fpga(width=100)
+        batch = TaskSetBatch(
+            np.array([[1.0]]), np.array([[4.0]]),
+            np.array([[4.0]]), np.array([[300.0]]),
+        )
+        for mode in PLACEMENT_MODES:
+            for policy in PlacementPolicy:
+                _assert_placement_match(
+                    batch, fpga, mode, policy, "EDF-NF", EdfNf, factor=1
+                )
+                vec = simulate_batch(
+                    batch, fpga, "EDF-NF", mode=mode,
+                    placement_policy=policy, horizon_factor=1,
+                )
+                assert not vec.schedulable.any()
+
+    def test_non_integral_area_rejected_for_placement(self):
+        batch = TaskSetBatch(
+            np.array([[1.0]]), np.array([[4.0]]),
+            np.array([[4.0]]), np.array([[2.5]]),
+        )
+        assert simulate_batch(batch, 10).schedulable.all()  # FREE is fine
+        with pytest.raises(ValueError):
+            simulate_batch(batch, 10, mode=MigrationMode.RELOCATABLE)
+
+    def test_placement_needs_integral_width_device(self):
+        batch = TaskSetBatch(
+            np.array([[1.0]]), np.array([[4.0]]),
+            np.array([[4.0]]), np.array([[2.0]]),
+        )
+        with pytest.raises(ValueError):
+            simulate_batch(batch, 10.5, mode=MigrationMode.PINNED)
 
 
 class TestValidation:
