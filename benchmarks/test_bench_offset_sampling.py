@@ -1,13 +1,31 @@
 """Ablation: simulation is only an upper bound (§6).
 
 The paper can only simulate the synchronous release pattern; random
-release offsets find counterexamples the synchronous pattern misses.
-This bench measures how much acceptance melts under a 10-offset search.
+release offsets and sporadic inter-arrival jitter find counterexamples
+the synchronous pattern misses.  These benches measure how much
+acceptance melts under the pattern searches — run on the batched
+backend, which fans the pattern axis into the batch dimension
+(``samples x patterns`` rows per bucket in one ``simulate_batch``
+sweep) — and the smoke-marked comparison pins the scalar event loop and
+the vector backend to *identical* curves (shared offset/schedule
+streams) while recording the speedup, so release-pattern regressions
+are caught per-PR.
 """
+
+import time
+
+import pytest
 
 from benchmarks.helpers import auc, print_curves
 
-from repro.experiments.ablations import offset_ablation
+from repro.experiments.ablations import offset_ablation, sporadic_ablation
+
+GRID = (40.0, 60.0, 80.0)
+
+
+def _assert_search_below_baseline(curves, baseline, searched):
+    for a, b in zip(curves[baseline].ratios, curves[searched].ratios):
+        assert a >= b  # searching can only remove acceptances
 
 
 def test_bench_offset_search(benchmark, scale):
@@ -18,10 +36,56 @@ def test_bench_offset_search(benchmark, scale):
         iterations=1,
     )
     print_curves(curves, "synchronous-release vs offset-searched acceptance")
-
-    sync = curves["sim:synchronous"]
-    searched = curves["sim:offset-search"]
-    for a, b in zip(sync.ratios, searched.ratios):
-        assert a >= b  # searching can only remove acceptances
-    gap = auc(sync) - auc(searched)
+    _assert_search_below_baseline(curves, "sim:synchronous", "sim:offset-search")
+    gap = auc(curves["sim:synchronous"]) - auc(curves["sim:offset-search"])
     print(f"acceptance removed by offset search: {gap:.4f} (mean)")
+
+
+def test_bench_sporadic_search(benchmark, scale):
+    samples = 25 * scale
+    curves = benchmark.pedantic(
+        lambda: sporadic_ablation(samples=samples, sporadic_samples=10, seed=47),
+        rounds=1,
+        iterations=1,
+    )
+    print_curves(curves, "periodic vs sporadic-searched acceptance")
+    _assert_search_below_baseline(curves, "sim:periodic", "sim:sporadic-search")
+    gap = auc(curves["sim:periodic"]) - auc(curves["sim:sporadic-search"])
+    print(f"acceptance removed by sporadic search: {gap:.4f} (mean)")
+
+
+@pytest.mark.bench_smoke
+def test_bench_offset_search_vector_vs_scalar(benchmark):
+    """Offset search on both backends: identical curves, vector faster.
+
+    Both backends draw the same offset assignments (taskset-major
+    stream) and extend every pattern's horizon by its largest offset, so
+    the curves must match exactly — the per-PR guard for the batched
+    release-pattern path.
+    """
+    samples, patterns = 20, 5
+    benchmark.group = "offset-search-backend"
+    curves = benchmark.pedantic(
+        lambda: offset_ablation(
+            us_grid=GRID, samples=samples, offset_samples=patterns, seed=43,
+            sim_backend="vector",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    vector_time = benchmark.stats.stats.mean
+
+    t0 = time.perf_counter()
+    scalar = offset_ablation(
+        us_grid=GRID, samples=samples, offset_samples=patterns, seed=43,
+        sim_backend="scalar",
+    )
+    scalar_time = time.perf_counter() - t0
+
+    for label in curves.labels:
+        assert curves[label].ratios == scalar[label].ratios, label
+    _assert_search_below_baseline(curves, "sim:synchronous", "sim:offset-search")
+    print(f"\noffset search: scalar {scalar_time:.2f} s, "
+          f"vector {vector_time:.2f} s "
+          f"-> {scalar_time / vector_time:.1f}x "
+          f"({samples} sets x {patterns} patterns x {len(GRID)} buckets)")

@@ -22,6 +22,7 @@ from repro.experiments.ablations import (
     nf_vs_fkf_ablation,
     offset_ablation,
     placement_ablation,
+    sporadic_ablation,
 )
 from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.report import as_csv, as_text
@@ -81,7 +82,15 @@ def main() -> None:
     blocks.append(as_text(placement_ablation(samples=max(50, args.samples // 4),
                                              seed=41,
                                              sim_backend=args.sim_backend)))
-    blocks.append(as_text(offset_ablation(samples=50, seed=43)))
+    # The release-pattern searches fan their pattern axis into the batch
+    # dimension, so full buckets are affordable here too (the scalar
+    # path capped these at ~50 sets per bucket).
+    blocks.append(as_text(offset_ablation(samples=max(50, args.samples // 10),
+                                          seed=43,
+                                          sim_backend=args.sim_backend)))
+    blocks.append(as_text(sporadic_ablation(samples=max(50, args.samples // 10),
+                                            seed=47,
+                                            sim_backend=args.sim_backend)))
 
     data = "\n\n".join(blocks)
     (args.out / "experiments_data.txt").write_text(data)

@@ -15,8 +15,10 @@ This package provides:
   substrate, EDF-FkF / EDF-NF schedulers and a discrete-event simulator.
 * :mod:`repro.gen` — synthetic taskset generators (the paper's §6 recipe).
 * :mod:`repro.vector` — numpy-vectorized batch versions of the tests and a
-  batched FREE-mode EDF simulator (``simulate_batch``) that lets the
-  acceptance experiments simulate whole buckets instead of subsamples.
+  batched EDF simulator (``simulate_batch``: every migration mode, plus
+  offset/sporadic release patterns) that lets the acceptance experiments
+  simulate whole buckets — and whole pattern searches — instead of
+  subsamples.
 * :mod:`repro.experiments` — runners regenerating every table and figure.
 
 Quickstart::

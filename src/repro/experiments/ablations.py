@@ -11,6 +11,17 @@
 * :func:`offset_ablation` — §6's "simulation is only an upper bound":
   how much the synchronous-release acceptance drops when random release
   offsets are searched for counterexamples.
+* :func:`sporadic_ablation` — the sporadic sibling: how much acceptance
+  drops when jittered inter-arrival patterns are searched as well.
+
+Both release-pattern searches fan their pattern axis into the *batch*
+dimension of :func:`repro.vector.sim_vec.simulate_batch`: a bucket's
+``B`` tasksets are repeated ``P`` times (``B x P`` rows, one pattern per
+repeat), simulated in one sweep, and reduced per taskset with "any
+failing pattern ⇒ unschedulable".  The searched verdict is always
+*intersected* with the synchronous/periodic one, so the searched curve
+is pointwise <= the baseline curve by construction (a pattern search can
+only remove acceptances, never add them).
 """
 
 from __future__ import annotations
@@ -29,10 +40,27 @@ from repro.fpga.device import Fpga
 from repro.fpga.placement import PlacementPolicy
 from repro.gen.profiles import GenerationProfile, paper_unconstrained
 from repro.sched.edf_nf import EdfNf
-from repro.sim.offsets import simulate_with_offsets
+from repro.sim.offsets import sample_offsets, simulate_with_offsets
 from repro.sim.simulator import MigrationMode, default_horizon, simulate
+from repro.sim.sporadic import sample_release_schedule, simulate_release_schedule
 from repro.util.rngutil import rng_from_seed, spawn_rngs
-from repro.vector.sim_vec import simulate_batch
+from repro.vector.batch import TaskSetBatch
+from repro.vector.sim_vec import (
+    default_horizon_batch,
+    sample_offsets_batch,
+    simulate_batch,
+)
+
+
+def _repeat_batch(batch: TaskSetBatch, times: int) -> TaskSetBatch:
+    """Each row repeated ``times`` consecutively (row b -> rows b*P..b*P+P-1),
+    so a ``(B, P)`` reshape of the fanned verdicts restores the pairing."""
+    return TaskSetBatch(
+        np.repeat(batch.wcet, times, axis=0),
+        np.repeat(batch.period, times, axis=0),
+        np.repeat(batch.deadline, times, axis=0),
+        np.repeat(batch.area, times, axis=0),
+    )
 
 
 def alpha_ablation(
@@ -160,26 +188,80 @@ def offset_ablation(
     offset_samples: int = 10,
     seed: int = 43,
     horizon_factor: int = 10,
+    sim_backend: str = "vector",
 ) -> AcceptanceCurves:
-    """Synchronous-release acceptance vs offset-searched acceptance."""
+    """Synchronous-release acceptance vs offset-searched acceptance.
+
+    ``sim_backend="vector"`` (default) fans the ``offset_samples``
+    pattern axis into the batch dimension — ``samples x offset_samples``
+    rows per bucket, one :func:`simulate_batch` sweep — which makes
+    full-bucket searches affordable; ``"scalar"`` walks the per-taskset
+    event loop through :func:`repro.sim.offsets.simulate_with_offsets`
+    (bit-identical verdicts and identical offset draws, for
+    cross-checks).
+
+    Soundness invariants (both backends):
+
+    * every pattern's window is extended by its largest offset (the
+      horizon-extension rule — see :mod:`repro.sim.offsets`), so offset
+      tasks never see fewer simulated jobs than the synchronous run;
+    * the searched verdict is the *intersection* of the synchronous
+      verdict and all sampled patterns, so the offset-searched curve is
+      pointwise <= the synchronous curve.
+    """
     profile = profile or paper_unconstrained(10)
+    if sim_backend not in ("vector", "scalar"):
+        raise ValueError(f"unknown sim_backend {sim_backend!r}")
+    if offset_samples < 0:
+        raise ValueError("offset_samples must be >= 0")
     fpga = Fpga(width=100)
     rngs = spawn_rngs(seed, len(us_grid))
     sync_ratios, offset_ratios = [], []
     for i, us in enumerate(us_grid):
         batch = feasible_batch_at(profile, float(us), samples, rngs[i])
         offset_rng = rng_from_seed(seed * 1000 + i)
-        sync_ok = 0
-        offset_ok = 0
-        for ts in batch.to_tasksets():
-            horizon = default_horizon(ts, factor=horizon_factor)
-            if simulate(ts, fpga, EdfNf(), horizon).schedulable:
-                sync_ok += 1
-                if simulate_with_offsets(
-                    ts, fpga, EdfNf(), horizon, offset_rng,
-                    samples=offset_samples, include_synchronous=False,
-                ).schedulable:
-                    offset_ok += 1
+        if sim_backend == "vector":
+            sync = simulate_batch(
+                batch, fpga, "EDF-NF", horizon_factor=horizon_factor
+            ).schedulable
+            searched = sync.copy()
+            if offset_samples:
+                # Taskset-major draw (B, P, N): the same stream order as
+                # the scalar path's per-taskset sample_offsets calls.
+                high = np.broadcast_to(
+                    batch.period[:, None, :],
+                    (batch.count, offset_samples, batch.n_tasks),
+                )
+                offs = offset_rng.uniform(0.0, high)
+                fanned = _repeat_batch(batch, offset_samples)
+                res = simulate_batch(
+                    fanned, fpga, "EDF-NF",
+                    offsets=offs.reshape(-1, batch.n_tasks),
+                    horizon_factor=horizon_factor,
+                )
+                searched &= res.schedulable.reshape(
+                    batch.count, offset_samples
+                ).all(axis=1)
+            sync_ok = int(sync.sum())
+            offset_ok = int(searched.sum())
+        else:
+            sync_ok = offset_ok = 0
+            for ts in batch.to_tasksets():
+                horizon = default_horizon(ts, factor=horizon_factor)
+                sync_passes = simulate(ts, fpga, EdfNf(), horizon).schedulable
+                sync_ok += sync_passes
+                if sync_passes:
+                    searched_passes = simulate_with_offsets(
+                        ts, fpga, EdfNf(), horizon, offset_rng,
+                        samples=offset_samples, include_synchronous=False,
+                    ).schedulable if offset_samples else True
+                    offset_ok += searched_passes
+                else:
+                    # The searched verdict is already False; draw (and
+                    # discard) the assignments anyway so the offset
+                    # stream stays aligned with the vector backend.
+                    for _ in range(offset_samples):
+                        sample_offsets(ts, offset_rng)
         sync_ratios.append(sync_ok / samples)
         offset_ratios.append(offset_ok / samples)
     buckets = tuple(float(u) for u in us_grid)
@@ -191,5 +273,97 @@ def offset_ablation(
         series=(
             AcceptanceSeries("sim:synchronous", buckets, tuple(sync_ratios)),
             AcceptanceSeries("sim:offset-search", buckets, tuple(offset_ratios)),
+        ),
+    )
+
+
+def sporadic_ablation(
+    profile: GenerationProfile = None,
+    us_grid: Sequence[float] = tuple(range(30, 100, 10)),
+    samples: int = 40,
+    sporadic_samples: int = 10,
+    jitter: float = 0.5,
+    seed: int = 47,
+    horizon_factor: int = 10,
+    sim_backend: str = "vector",
+) -> AcceptanceCurves:
+    """Periodic-release acceptance vs sporadic-searched acceptance.
+
+    The paper's task model is sporadic (``T`` is a *minimum*
+    inter-arrival time) but its simulation releases strictly
+    periodically; this ablation searches ``sporadic_samples`` jittered
+    patterns per taskset (gaps ``T_i * (1 + U(0, jitter))``) for
+    counterexamples, the release-pattern sibling of
+    :func:`offset_ablation`.  The searched verdict is the intersection
+    of the periodic verdict and every sampled pattern, so the sporadic
+    curve is pointwise <= the periodic curve.
+
+    ``sim_backend="vector"`` (default) fans the pattern axis into the
+    batch dimension of :func:`simulate_batch`; ``"scalar"`` replays the
+    same sampled schedules through
+    :func:`repro.sim.sporadic.simulate_release_schedule` (bit-identical
+    verdicts on the shared stream, for cross-checks).
+    """
+    profile = profile or paper_unconstrained(10)
+    if sim_backend not in ("vector", "scalar"):
+        raise ValueError(f"unknown sim_backend {sim_backend!r}")
+    if sporadic_samples < 0:
+        raise ValueError("sporadic_samples must be >= 0")
+    fpga = Fpga(width=100)
+    rngs = spawn_rngs(seed, len(us_grid))
+    periodic_ratios, sporadic_ratios = [], []
+    for i, us in enumerate(us_grid):
+        batch = feasible_batch_at(profile, float(us), samples, rngs[i])
+        pattern_rng = rng_from_seed(seed * 1000 + i)
+        if sim_backend == "vector":
+            periodic = simulate_batch(
+                batch, fpga, "EDF-NF", horizon_factor=horizon_factor
+            ).schedulable
+            searched = periodic.copy()
+            if sporadic_samples:
+                fanned = _repeat_batch(batch, sporadic_samples)
+                res = simulate_batch(
+                    fanned, fpga, "EDF-NF",
+                    release="sporadic", jitter=jitter, rng=pattern_rng,
+                    horizon_factor=horizon_factor,
+                )
+                searched &= res.schedulable.reshape(
+                    batch.count, sporadic_samples
+                ).all(axis=1)
+            periodic_ok = int(periodic.sum())
+            sporadic_ok = int(searched.sum())
+        else:
+            periodic_ok = sporadic_ok = 0
+            for ts in batch.to_tasksets():
+                horizon = default_horizon(ts, factor=horizon_factor)
+                periodic_passes = simulate(
+                    ts, fpga, EdfNf(), horizon
+                ).schedulable
+                periodic_ok += periodic_passes
+                all_pass = periodic_passes
+                for _ in range(sporadic_samples):
+                    # Always sample (stream stays aligned with the vector
+                    # backend); only simulate while still undefeated.
+                    schedule = sample_release_schedule(
+                        ts, horizon, pattern_rng, jitter
+                    )
+                    if all_pass:
+                        all_pass = simulate_release_schedule(
+                            ts, fpga, EdfNf(), horizon, schedule
+                        ).schedulable
+                sporadic_ok += all_pass
+        periodic_ratios.append(periodic_ok / samples)
+        sporadic_ratios.append(sporadic_ok / samples)
+    buckets = tuple(float(u) for u in us_grid)
+    return AcceptanceCurves(
+        name="ablation: periodic vs sporadic-searched simulation",
+        capacity=fpga.capacity,
+        samples_per_point=samples,
+        sim_samples_per_point=samples,
+        series=(
+            AcceptanceSeries("sim:periodic", buckets, tuple(periodic_ratios)),
+            AcceptanceSeries(
+                "sim:sporadic-search", buckets, tuple(sporadic_ratios)
+            ),
         ),
     )

@@ -42,7 +42,11 @@ from repro.vector.batch import TaskSetBatch, generate_batch
 from repro.vector.dp_vec import dp_accepts
 from repro.vector.gn1_vec import gn1_accepts
 from repro.vector.gn2_vec import gn2_accepts
-from repro.vector.sim_vec import simulate_batch
+from repro.vector.sim_vec import (
+    default_horizon_batch,
+    sample_release_times_batch,
+    simulate_batch,
+)
 
 #: 95% two-sided normal quantile for the ``ci_target`` bucket sizing.
 _CI_Z = 1.96
@@ -286,6 +290,8 @@ def acceptance_experiment(
     sim_backend: str = "vector",
     sim_mode: MigrationMode = MigrationMode.FREE,
     sim_policy: PlacementPolicy = PlacementPolicy.FIRST_FIT,
+    sim_release: str = "periodic",
+    sim_jitter: float = 0.5,
     horizon_factor: int = 20,
     max_events: int = 1_000_000,
     workers: int = 1,
@@ -301,6 +307,15 @@ def acceptance_experiment(
     simulated under ``sim_mode``/``sim_policy`` (the paper's FREE
     migration by default; RELOCATABLE/PINNED quantify the §7 placement
     cost, honouring ``fpga``'s static regions on both backends).
+
+    ``sim_release`` selects the release pattern of the sim curves:
+    ``"periodic"`` (the paper's synchronous pattern) or ``"sporadic"``
+    (one jittered schedule per taskset, gaps
+    ``T_i * (1 + U(0, sim_jitter))``, sampled from a per-bucket stream
+    derived from ``seed``).  Sporadic release patterns are generated and
+    replayed through the batched simulator, so they require
+    ``sim_backend="vector"``; every scheduler in a bucket sees the same
+    sampled schedules (paired comparisons).
 
     ``sim_backend`` selects how those curves are computed:
 
@@ -345,6 +360,15 @@ def acceptance_experiment(
         raise ValueError(f"sim_mode must be a MigrationMode, got {sim_mode!r}")
     if not isinstance(sim_policy, PlacementPolicy):
         raise ValueError(f"sim_policy must be a PlacementPolicy, got {sim_policy!r}")
+    if sim_release not in ("periodic", "sporadic"):
+        raise ValueError(f"unknown sim_release {sim_release!r}")
+    if sim_jitter < 0:
+        raise ValueError("sim_jitter must be >= 0")
+    if sim_release == "sporadic" and sim_schedulers and sim_backend != "vector":
+        raise ValueError(
+            "sim_release='sporadic' requires sim_backend='vector' (the "
+            "scalar backend has no batched schedule replay)"
+        )
     unknown = set(tests) - set(TEST_FUNCS)
     if unknown:
         raise ValueError(f"unknown tests: {sorted(unknown)}")
@@ -400,6 +424,14 @@ def acceptance_experiment(
     rngs = spawn_rngs(seed, len(us_grid))
     for bucket_idx, us_target in enumerate(grid_list):
         rng = rngs[bucket_idx]
+        # One sporadic-pattern stream per bucket, consumed sequentially
+        # across the pilot/extension draws — identical settings replay
+        # identical schedules.
+        release_rng = (
+            rng_from_seed(seed * 1_000_003 + bucket_idx)
+            if sim_release == "sporadic"
+            else None
+        )
 
         def draw(n: int) -> Optional[TaskSetBatch]:
             if sampling == "rescale":
@@ -423,11 +455,26 @@ def acceptance_experiment(
                     batch.wcet[:k], batch.period[:k],
                     batch.deadline[:k], batch.area[:k],
                 )
+                if release_rng is not None:
+                    # Sample once per batch so every scheduler's curve
+                    # sees the same sporadic patterns (paired).
+                    release_kwargs = dict(
+                        release="sporadic",
+                        release_times=sample_release_times_batch(
+                            sub,
+                            default_horizon_batch(sub, factor=horizon_factor),
+                            release_rng,
+                            sim_jitter,
+                        ),
+                    )
+                else:
+                    release_kwargs = {}
                 for sched in sim_schedulers:
                     res = simulate_batch(
                         sub, fpga, sched,
                         mode=sim_mode, placement_policy=sim_policy,
                         horizon_factor=horizon_factor, max_events=max_events,
+                        **release_kwargs,
                     )
                     counts[f"sim:{sched}"][0] += int(res.schedulable.sum())
                     counts[f"sim:{sched}"][1] += k

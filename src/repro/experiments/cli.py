@@ -45,6 +45,27 @@ def build_parser() -> argparse.ArgumentParser:
                           "simulator (all migration modes) over full "
                           "buckets, 'scalar' the per-taskset event loop "
                           "on a subsample")
+    run.add_argument("--sim-mode", choices=("free", "relocatable", "pinned"),
+                     default="free", dest="sim_mode",
+                     help="migration model for the figure-style sim curves: "
+                          "'free' is the paper's unrestricted migration; "
+                          "'relocatable'/'pinned' are the §7 placement-aware "
+                          "modes (contiguous columns required)")
+    run.add_argument("--sim-policy",
+                     choices=("first-fit", "best-fit", "worst-fit"),
+                     default="first-fit", dest="sim_policy",
+                     help="hole-selection policy for placement-aware "
+                          "--sim-mode runs")
+    run.add_argument("--sim-release", choices=("periodic", "sporadic"),
+                     default="periodic", dest="sim_release",
+                     help="release pattern for the figure-style sim curves: "
+                          "'periodic' is the paper's synchronous pattern, "
+                          "'sporadic' draws one jittered schedule per "
+                          "taskset (vector backend only)")
+    run.add_argument("--sim-jitter", type=float, default=0.5,
+                     dest="sim_jitter", metavar="FACTOR",
+                     help="max inter-arrival jitter for --sim-release "
+                          "sporadic: gaps are T * (1 + U(0, FACTOR))")
     run.add_argument("--ci-target", type=float, default=None, dest="ci_target",
                      metavar="HALF_WIDTH",
                      help="adaptive bucket sizing: draw per-bucket samples "
@@ -156,11 +177,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(render_gantt(result.trace))
         return 0 if result.schedulable else 1
 
+    from repro.fpga.placement import PlacementPolicy
+    from repro.sim.simulator import MigrationMode
+
     exp = get_experiment(args.experiment)
     samples = args.samples if args.samples is not None else exp.default_samples
     curves = exp.runner(samples, args.seed, args.workers,
                         sim_backend=args.sim_backend,
-                        ci_target=args.ci_target)
+                        ci_target=args.ci_target,
+                        sim_mode=MigrationMode(args.sim_mode),
+                        sim_policy=PlacementPolicy(args.sim_policy),
+                        sim_release=args.sim_release,
+                        sim_jitter=args.sim_jitter)
     output = render(curves, args.format)
     if args.plot:
         lines = [output, ""]

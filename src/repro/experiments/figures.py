@@ -22,6 +22,8 @@ from typing import Optional, Sequence
 
 from repro.experiments.acceptance import AcceptanceCurves, acceptance_experiment
 from repro.fpga.device import Fpga
+from repro.fpga.placement import PlacementPolicy
+from repro.sim.simulator import MigrationMode
 from repro.gen.profiles import (
     GenerationProfile,
     paper_unconstrained,
@@ -93,6 +95,10 @@ def run_figure(
     sim_samples: Optional[int] = 100,
     sim_schedulers: Sequence[str] = ("EDF-NF",),
     sim_backend: str = "vector",
+    sim_mode: MigrationMode = MigrationMode.FREE,
+    sim_policy: PlacementPolicy = PlacementPolicy.FIRST_FIT,
+    sim_release: str = "periodic",
+    sim_jitter: float = 0.5,
     workers: int = 1,
     horizon_factor: int = 20,
     ci_target: Optional[float] = None,
@@ -104,6 +110,12 @@ def run_figure(
     simulates the full bucket on the (default) vector backend and a
     200-set subsample on the scalar one; 0 disables the simulation curve
     (and keeps the label out as well).
+
+    ``sim_mode``/``sim_policy`` re-simulate the figure's sim curve under
+    the §7 placement-aware migration models, and ``sim_release``/
+    ``sim_jitter`` under sporadic release patterns — so any figure-style
+    curve can be regenerated for the non-paper workload families too
+    (see :func:`~repro.experiments.acceptance.acceptance_experiment`).
 
     ``ci_target`` switches bucket sizing from flat ``samples`` to
     adaptive: each bucket draws only as many tasksets as its series need
@@ -124,6 +136,10 @@ def run_figure(
         sim_schedulers=sim_schedulers if sim_enabled else (),
         sim_samples_per_point=sim_samples,
         sim_backend=sim_backend,
+        sim_mode=sim_mode,
+        sim_policy=sim_policy,
+        sim_release=sim_release,
+        sim_jitter=sim_jitter,
         workers=workers,
         horizon_factor=horizon_factor,
         name=spec.title,

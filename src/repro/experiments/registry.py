@@ -13,6 +13,8 @@ from typing import Callable, Dict, Optional
 from repro.experiments import ablations
 from repro.experiments.acceptance import AcceptanceCurves
 from repro.experiments.figures import FIGURES, run_figure
+from repro.fpga.placement import PlacementPolicy
+from repro.sim.simulator import MigrationMode
 
 
 @dataclass(frozen=True)
@@ -21,9 +23,11 @@ class Experiment:
 
     experiment_id: str
     description: str
-    #: (samples, seed, workers, sim_backend="vector", ci_target=None)
+    #: (samples, seed, workers, sim_backend="vector", ci_target=None,
+    #: sim_mode=..., sim_policy=..., sim_release=..., sim_jitter=...)
     #: -> AcceptanceCurves.  Runners that cannot honour a knob (e.g.
-    #: ci_target on the offset search) accept and ignore it.
+    #: ci_target on the offset search, or the sim_* sweeps on ablations
+    #: that sweep those axes themselves) accept and ignore it.
     runner: Callable[..., AcceptanceCurves]
     default_samples: int
 
@@ -35,6 +39,10 @@ def _figure_runner(figure_id: str):
         workers: int,
         sim_backend: str = "vector",
         ci_target: Optional[float] = None,
+        sim_mode: MigrationMode = MigrationMode.FREE,
+        sim_policy: PlacementPolicy = PlacementPolicy.FIRST_FIT,
+        sim_release: str = "periodic",
+        sim_jitter: float = 0.5,
     ) -> AcceptanceCurves:
         # The vector backend simulates the whole bucket; the scalar one
         # keeps the historical 1-in-10 subsample to stay affordable.
@@ -45,6 +53,10 @@ def _figure_runner(figure_id: str):
             seed=seed,
             sim_samples=sim_samples,
             sim_backend=sim_backend,
+            sim_mode=sim_mode,
+            sim_policy=sim_policy,
+            sim_release=sim_release,
+            sim_jitter=sim_jitter,
             workers=workers,
             ci_target=ci_target,
         )
@@ -65,7 +77,8 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "ablation-alpha": Experiment(
         "ablation-alpha",
         "DP with integer-area alpha vs Danne's real-area alpha",
-        lambda samples, seed, workers, sim_backend="vector", ci_target=None:
+        lambda samples, seed, workers, sim_backend="vector", ci_target=None,
+        **_sim_kw:
             ablations.alpha_ablation(
                 samples=samples, seed=seed, ci_target=ci_target
             ),
@@ -74,21 +87,24 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "ablation-nf-fkf": Experiment(
         "ablation-nf-fkf",
         "Simulated acceptance of EDF-NF vs EDF-FkF",
-        lambda samples, seed, workers, sim_backend="vector", ci_target=None:
+        lambda samples, seed, workers, sim_backend="vector", ci_target=None,
+        **_sim_kw:
             ablations.nf_vs_fkf_ablation(
                 samples=samples, seed=seed, workers=workers,
                 sim_backend=sim_backend, ci_target=ci_target,
             ),
         default_samples=60,
     ),
-    # The placement ablation runs on the vectorized array free-list by
-    # default (scalar kept for cross-checks); only the offset search
-    # still needs the scalar event loop, which the vector backend does
-    # not replicate (batched offsets are a ROADMAP item).
+    # Every simulation-backed ablation runs on the batched vector
+    # simulator by default (the scalar event loop is kept behind
+    # sim_backend="scalar" for cross-checks) — including the
+    # release-pattern searches, which fan their pattern axis into the
+    # batch dimension.
     "ablation-placement": Experiment(
         "ablation-placement",
         "Free migration vs contiguous placement (fragmentation cost)",
-        lambda samples, seed, workers, sim_backend="vector", ci_target=None:
+        lambda samples, seed, workers, sim_backend="vector", ci_target=None,
+        **_sim_kw:
             ablations.placement_ablation(
                 samples=samples, seed=seed, sim_backend=sim_backend
             ),
@@ -97,11 +113,23 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "ablation-offsets": Experiment(
         "ablation-offsets",
         "Synchronous-release simulation vs offset-searched upper bound",
-        lambda samples, seed, workers, sim_backend="vector", ci_target=None:
+        lambda samples, seed, workers, sim_backend="vector", ci_target=None,
+        **_sim_kw:
             ablations.offset_ablation(
-                samples=samples, seed=seed
+                samples=samples, seed=seed, sim_backend=sim_backend
             ),
-        default_samples=40,
+        default_samples=200,
+    ),
+    "ablation-sporadic": Experiment(
+        "ablation-sporadic",
+        "Periodic-release simulation vs sporadic-searched upper bound",
+        lambda samples, seed, workers, sim_backend="vector", ci_target=None,
+        sim_jitter=0.5, **_sim_kw:
+            ablations.sporadic_ablation(
+                samples=samples, seed=seed, sim_backend=sim_backend,
+                jitter=sim_jitter,
+            ),
+        default_samples=200,
     ),
 }
 

@@ -9,8 +9,12 @@ exhausting all release offsets (§6).  This package provides:
   free-migration model or in placement-constrained modes (§7 extensions);
 * :class:`Trace` — execution segments with checkers for the Lemma 1/2
   α-occupancy invariants;
-* :mod:`repro.sim.offsets` — random release-offset search that tightens
-  the simulation upper bound.
+* :mod:`repro.sim.offsets` / :mod:`repro.sim.sporadic` — random
+  release-offset and jittered inter-arrival searches that tighten the
+  simulation upper bound (the offset search extends each pattern's
+  window by its largest offset so shifted tasks never see fewer
+  simulated jobs than the synchronous run; the batched twins live in
+  :mod:`repro.vector.sim_vec`).
 """
 
 from repro.sim.simulator import (

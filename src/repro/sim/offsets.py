@@ -7,6 +7,17 @@ synchronous pattern (all offsets 0) is *one* legal release pattern; any
 pattern that misses a deadline proves the taskset unschedulable.  Random
 offset sampling therefore refines the upper bound: the more patterns
 survive, the more credible (but never certain) schedulability is.
+
+Horizon-extension rule: shifting a task's first release to ``O_i``
+removes jobs from a fixed window — it sees ``floor((H - O_i) / T_i)``
+jobs before ``H`` instead of ``floor(H / T_i)`` — so simulating an
+offset pattern over the *synchronous* window would silently check fewer
+jobs per task and weaken the bound it claims to refine.
+:func:`simulate_with_offsets` therefore extends each assignment's window
+by its largest offset (``H + max_i O_i``); the synchronous assignment is
+unaffected (its extension is 0).  The batched twin
+(:func:`repro.vector.sim_vec.simulate_batch` with ``offsets=``) applies
+the same rule through ``default_horizon_batch(..., offsets=...)``.
 """
 
 from __future__ import annotations
@@ -42,6 +53,11 @@ def simulate_with_offsets(
     Returns the first failing run (a *certificate of unschedulability*) or
     the last passing one.  ``include_synchronous`` prepends the paper's
     all-zero pattern, which is the classic worst-case heuristic.
+
+    ``horizon`` is the synchronous-window length; each assignment's
+    window is extended by its largest offset (the module's
+    horizon-extension rule), so every task sees at least as many
+    simulated jobs as the synchronous run would give it.
     """
     if samples < 0:
         raise ValueError("samples must be >= 0")
@@ -54,7 +70,12 @@ def simulate_with_offsets(
     result: Optional[SimulationResult] = None
     for offsets in assignments:
         result = simulate(
-            taskset, fpga, scheduler, horizon, offsets=offsets, **simulate_kwargs
+            taskset,
+            fpga,
+            scheduler,
+            horizon + max(offsets.values()),
+            offsets=offsets,
+            **simulate_kwargs,
         )
         if not result.schedulable:
             return result

@@ -90,15 +90,31 @@ class SimulationResult:
         return self.schedulable
 
 
-def default_horizon(taskset: TaskSet, factor: int = 20) -> Real:
-    """The default simulation horizon: ``max D + factor * max T``.
+def default_horizon(
+    taskset: TaskSet,
+    factor: int = 20,
+    offsets: Optional[Mapping[str, Real]] = None,
+) -> Real:
+    """The default simulation horizon: ``max D + factor * max T [+ max O]``.
 
     Real-valued periods have no hyperperiod (DESIGN.md §4.9), so the
     paper-style simulation runs a fixed multiple of the longest period.
+
+    When release ``offsets`` are given, the window is extended by the
+    largest one: a task first released at ``O_i`` only sees
+    ``floor((H - O_i) / T_i)`` jobs before ``H``, so an unextended
+    window would simulate *fewer* jobs per task than the synchronous run
+    and silently weaken the upper bound an offset search claims to
+    refine (see :mod:`repro.sim.offsets`).
     """
     if factor < 1:
         raise ValueError("factor must be >= 1")
-    return taskset.max_deadline + factor * taskset.max_period
+    base = taskset.max_deadline + factor * taskset.max_period
+    if not offsets:
+        return base
+    if any(o < 0 for o in offsets.values()):
+        raise ValueError("offsets must be >= 0")
+    return base + max(offsets.values())
 
 
 def _job_id(job: Job) -> str:

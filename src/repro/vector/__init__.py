@@ -11,9 +11,13 @@ capacity check) *and* the §7 placement-aware RELOCATABLE/PINNED modes,
 which run on an array-encoded free-list — per-row uint64 column bitmaps
 (:class:`BatchFreeList`) with vectorized first/best/worst-fit hole
 kernels sharing one interval representation with the scalar path
-(:mod:`repro.fpga.intervals`).  The acceptance engine's ``sim:`` curves
-and the placement ablation therefore run over full buckets instead of a
-subsample.
+(:mod:`repro.fpga.intervals`).  Non-synchronous release patterns run
+batched too: per-row release ``offsets`` and sporadic (jittered
+inter-arrival) schedules, bit-identical to the scalar
+``simulate(offsets=...)`` / ``simulate_release_schedule`` — so the
+acceptance engine's ``sim:`` curves, the placement ablation *and* the
+offset/sporadic pattern searches all run over full buckets instead of a
+subsample (patterns fanned into the batch axis).
 
 The scalar implementations in :mod:`repro.core` and
 :mod:`repro.sim.simulator` remain the reference — the test-suite
@@ -25,7 +29,13 @@ from repro.vector.dp_vec import dp_accepts
 from repro.vector.gn1_vec import gn1_accepts
 from repro.vector.gn2_vec import gn2_accepts
 from repro.vector.placement_vec import BatchFreeList, choose_batch
-from repro.vector.sim_vec import SimBatchResult, default_horizon_batch, simulate_batch
+from repro.vector.sim_vec import (
+    SimBatchResult,
+    default_horizon_batch,
+    sample_offsets_batch,
+    sample_release_times_batch,
+    simulate_batch,
+)
 
 __all__ = [
     "TaskSetBatch",
@@ -37,5 +47,7 @@ __all__ = [
     "choose_batch",
     "SimBatchResult",
     "default_horizon_batch",
+    "sample_offsets_batch",
+    "sample_release_times_batch",
     "simulate_batch",
 ]

@@ -18,9 +18,37 @@ once* in every migration mode of the scalar simulator:
   previous columns, with first/best/worst-fit fallback (RELOCATABLE) or
   no fallback at all once pinned (PINNED).
 
+Release patterns (the §6 upper-bound refinement axis):
+
+* synchronous-periodic (the paper's pattern, default): every task's
+  first job at ``t = 0``, then strictly every ``T_i``;
+* **per-row offsets** — ``offsets`` is a ``(B, N)`` array of first
+  release times, jobs at ``O_i + k T_i`` with absolute deadlines
+  ``O_i + k T_i + D_i`` (Baker's exhaustive-offsets refinement: any
+  pattern that misses certifies unschedulability);
+* **sporadic** — ``release="sporadic"`` draws one jittered schedule per
+  row (gaps ``T_i * (1 + U(0, jitter))``, first release 0, matching
+  :func:`repro.sim.sporadic.sample_release_schedule` draw for draw on a
+  shared seed), or replays explicit ``release_times``.
+
+Offset-search callers fan release patterns into the *batch axis*: tile a
+bucket's ``B`` tasksets ``P`` times (``B x P`` rows), attach one offset
+assignment / sporadic schedule per tile, simulate once, and reduce per
+original set with "any failing pattern ⇒ unschedulable" (see
+:func:`repro.experiments.ablations.offset_ablation`).
+
+Horizon-extension rule: a job released at offset ``O_i`` sees
+``floor((H - O_i) / T_i)`` jobs before ``H`` — *fewer* than the
+synchronous run — so with nonzero offsets the default horizon is
+extended by the row's largest offset (``default_horizon_batch(...,
+offsets=...)``; the scalar twin is ``default_horizon(...,
+offsets=...)``).  Without the extension the offset "refinement" would
+silently simulate fewer jobs per task than the synchronous pattern and
+weaken the upper bound it claims to tighten.
+
 Scope (exactly the configuration the acceptance engine uses):
 
-* zero reconfiguration overhead, synchronous release (all offsets 0);
+* zero reconfiguration overhead;
 * ``stop_at_first_miss`` semantics — the verdict is the product;
 * constrained deadlines (``D <= T``), so at most one job per task is
   live at any decision point (a predecessor either completed or missed,
@@ -41,11 +69,15 @@ prefix sums) are performed in the same order and with the same operands
 as the scalar reference, and all placement geometry is integer
 arithmetic on the shared interval representation
 (:mod:`repro.fpga.intervals`), so verdicts are bit-identical to
-``simulate(batch.taskset(i), ...)`` — the same contract
+``simulate(batch.taskset(i), offsets=...)`` /
+``simulate_release_schedule(...)`` — the same contract
 :func:`repro.vector.batch.sequential_sum` gives the analytical tests.
 The EDF tie-break replicates the scalar queue exactly, including the
 *lexicographic* task-name ordering of ``batch.taskset`` names
-(``tau10`` sorts before ``tau2``).
+(``tau10`` sorts before ``tau2``) — and, in sporadic mode, the
+pseudo-task names ``tau{i}@{j}`` that the scalar
+:func:`repro.sim.sporadic.simulate_release_schedule` encodes schedules
+with (``tau10@...`` sorts before ``tau1@...`` because ``'0' < '@'``).
 """
 
 from __future__ import annotations
@@ -79,7 +111,9 @@ class SimBatchResult:
     scalar simulator raises ``SimulationError`` there — the batch runner
     records the row as not-schedulable-within-budget and keeps going).
     ``mode``/``policy`` record the migration model the batch ran under
-    (``policy`` is ``None`` in FREE mode, where placement is moot).
+    (``policy`` is ``None`` in FREE mode, where placement is moot);
+    ``release`` records the release pattern (``"periodic"`` covers both
+    synchronous and offset runs, ``"sporadic"`` the jittered schedules).
     """
 
     schedulable: np.ndarray  # (B,) bool
@@ -88,6 +122,7 @@ class SimBatchResult:
     horizon: np.ndarray  # (B,) float64
     mode: MigrationMode = MigrationMode.FREE
     policy: Optional[PlacementPolicy] = None
+    release: str = "periodic"
 
     @property
     def count(self) -> int:
@@ -120,29 +155,116 @@ def _resolve_skip_blocked(scheduler: Union[str, Scheduler]) -> bool:
     raise TypeError(f"scheduler must be a name or Scheduler, got {scheduler!r}")
 
 
-def _name_ranks(n_tasks: int) -> np.ndarray:
+def _name_ranks(n_tasks: int, sporadic: bool = False) -> np.ndarray:
     """Rank of each task index under the scalar tie-break.
 
     ``batch.taskset`` names tasks ``tau1 .. tauN`` and the scalar EDF
     queue breaks (deadline, release) ties by *string* comparison of
     those names — so ``tau10`` beats ``tau2``.  Returns ``rank[i]`` =
     position of ``tau{i+1}`` in lexicographic order.
+
+    ``sporadic`` ranks by the pseudo-task names
+    ``simulate_release_schedule`` compares instead (``tau{i}@{j}``).  At
+    most one job per task is live at a time (constrained deadlines, gaps
+    >= T), so the job index ``j`` never decides a comparison and the
+    order is fully captured by the ``tau{i}@`` prefix — which *reverses*
+    prefix pairs: ``'0' < '@'``, so ``tau10@...`` sorts before
+    ``tau1@...`` although ``tau1`` sorts before ``tau10``.
     """
-    order = sorted(range(n_tasks), key=lambda i: f"tau{i + 1}")
+    suffix = "@" if sporadic else ""
+    order = sorted(range(n_tasks), key=lambda i: f"tau{i + 1}{suffix}")
     ranks = np.empty(n_tasks, dtype=np.int64)
     for pos, i in enumerate(order):
         ranks[i] = pos
     return ranks
 
 
-def default_horizon_batch(batch: TaskSetBatch, factor: int = 20) -> np.ndarray:
-    """Per-row ``max D + factor * max T`` — the scalar
+def default_horizon_batch(
+    batch: TaskSetBatch,
+    factor: int = 20,
+    offsets: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-row ``max D + factor * max T [+ max offset]`` — the scalar
     :func:`repro.sim.simulator.default_horizon`, vectorized (identical
     float operations, so the horizons match the scalar path bit-exactly).
+
+    With ``offsets`` the window is extended by each row's largest offset:
+    a task first released at ``O_i`` sees ``floor((H - O_i) / T_i)`` jobs
+    before ``H``, so an unextended window would simulate *fewer* jobs
+    than the synchronous run and silently weaken the upper bound the
+    offset search claims to refine.
     """
     if factor < 1:
         raise ValueError("factor must be >= 1")
-    return batch.deadline.max(axis=1) + factor * batch.period.max(axis=1)
+    base = batch.deadline.max(axis=1) + factor * batch.period.max(axis=1)
+    if offsets is None:
+        return base
+    off = np.broadcast_to(
+        np.asarray(offsets, dtype=float), (batch.count, batch.n_tasks)
+    )
+    return base + off.max(axis=1)
+
+
+def sample_offsets_batch(
+    batch: TaskSetBatch, rng: np.random.Generator
+) -> np.ndarray:
+    """One random offset assignment per row: uniform in ``[0, T_i)``.
+
+    Draw-for-draw identical to calling
+    :func:`repro.sim.offsets.sample_offsets` on each ``batch.taskset(i)``
+    in row order with the same generator (one C-order ``uniform`` fill
+    consumes the stream exactly like the scalar per-task draws).
+    """
+    return rng.uniform(0.0, batch.period)
+
+
+def sample_release_times_batch(
+    batch: TaskSetBatch,
+    horizon: Union[float, np.ndarray],
+    rng: np.random.Generator,
+    max_jitter_factor: float = 0.5,
+) -> np.ndarray:
+    """One legal sporadic release schedule per row, as a padded array.
+
+    Returns ``(B, N, K+1)`` release times — ascending, first release 0,
+    every gap ``T_i * (1 + U(0, max_jitter_factor))``, all ``< horizon``
+    — right-padded with ``+inf`` (at least one sentinel column, so a
+    pointer one past a task's last release always reads ``inf``).
+
+    The draw discipline is row-major, task-order, one gap at a time
+    *including the final overshooting draw*, so the sampled values are
+    bit-identical to calling
+    :func:`repro.sim.sporadic.sample_release_schedule` on each
+    ``batch.taskset(i)`` in row order with the same shared generator.
+    (Sampling is a Python loop for exactly that scalar parity — only the
+    simulation itself is vectorized.)
+    """
+    if max_jitter_factor < 0:
+        raise ValueError("max_jitter_factor must be >= 0")
+    hz = np.broadcast_to(np.asarray(horizon, dtype=float), (batch.count,))
+    if np.any(hz <= 0):
+        raise ValueError("horizon must be > 0")
+    rows: list = []
+    longest = 0
+    for b in range(batch.count):
+        row = []
+        for n in range(batch.n_tasks):
+            period = float(batch.period[b, n])
+            releases = [0.0]
+            while True:
+                gap = period * (1.0 + float(rng.uniform(0.0, max_jitter_factor)))
+                nxt = releases[-1] + gap
+                if nxt >= hz[b]:
+                    break
+                releases.append(nxt)
+            longest = max(longest, len(releases))
+            row.append(releases)
+        rows.append(row)
+    out = np.full((batch.count, batch.n_tasks, longest + 1), np.inf)
+    for b, row in enumerate(rows):
+        for n, releases in enumerate(row):
+            out[b, n, : len(releases)] = releases
+    return out
 
 
 def _select_placement(
@@ -231,6 +353,11 @@ def simulate_batch(
     placement_policy: PlacementPolicy = PlacementPolicy.FIRST_FIT,
     horizon: Union[None, float, np.ndarray] = None,
     horizon_factor: int = 20,
+    offsets: Union[None, float, np.ndarray] = None,
+    release: str = "periodic",
+    jitter: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+    release_times: Optional[np.ndarray] = None,
     max_events: int = 1_000_000,
     eps: float = TIME_EPS,
 ) -> SimBatchResult:
@@ -245,7 +372,27 @@ def simulate_batch(
     whose static regions pre-fragment the placement-aware free space
     exactly as in the scalar path.  ``horizon`` may be a scalar or a
     ``(B,)`` array; when ``None`` it defaults per row to
-    :func:`default_horizon_batch`.
+    :func:`default_horizon_batch` — which, with ``offsets``, extends
+    each row's window by its largest offset (the horizon-extension rule:
+    otherwise offset tasks would see fewer simulated jobs than the
+    synchronous run).
+
+    Release patterns:
+
+    * ``release="periodic"`` (default): jobs at ``O_i + k T_i`` where
+      ``O_i`` comes from ``offsets`` — a scalar or ``(B, N)``-broadcast
+      array of first release times, default 0 (the paper's synchronous
+      pattern).  Verdicts are bit-identical to the scalar
+      ``simulate(..., offsets=...)``.
+    * ``release="sporadic"``: one jittered schedule per row.  Pass a
+      seeded ``rng`` to draw gaps ``T_i * (1 + U(0, jitter))`` via
+      :func:`sample_release_times_batch` (bit-identical to the scalar
+      :func:`repro.sim.sporadic.sample_release_schedule` /
+      ``simulate_release_schedule`` pipeline on a shared generator), or
+      pass precomputed ``release_times`` (a ``(B, N, K)`` ascending,
+      ``+inf``-padded array; successive releases at least each task's
+      deadline apart, so one job per task is live at a time) to replay
+      explicit schedules.
 
     Rows whose event loop would exceed ``max_events`` (where the scalar
     simulator raises ``SimulationError``) are recorded as not
@@ -253,6 +400,24 @@ def simulate_batch(
     the batch.  An empty batch (``B == 0``) yields an empty result.
     """
     skip_blocked = _resolve_skip_blocked(scheduler)
+    if release not in ("periodic", "sporadic"):
+        raise ValueError(f"unknown release pattern {release!r}")
+    sporadic = release == "sporadic"
+    if sporadic:
+        if offsets is not None:
+            raise ValueError(
+                "offsets apply to periodic release only (sporadic "
+                "schedules always start at t=0, like the scalar sampler)"
+            )
+        if (rng is None) == (release_times is None):
+            raise ValueError(
+                "sporadic release needs exactly one of rng (to sample "
+                "schedules) or release_times (to replay them)"
+            )
+    elif rng is not None or release_times is not None:
+        raise ValueError("rng/release_times apply to sporadic release only")
+    if jitter < 0:
+        raise ValueError("jitter must be >= 0")
     use_placement = mode is not MigrationMode.FREE
     B, N = batch.count, batch.n_tasks
     if N == 0:
@@ -285,14 +450,67 @@ def simulate_batch(
         # Mirrors the scalar simulator's all_integral_area requirement.
         raise ValueError("placement-aware modes require integral task areas")
 
+    if offsets is None:
+        off = None
+    else:
+        off = np.broadcast_to(np.asarray(offsets, dtype=float), (B, N)).copy()
+        if not np.all(np.isfinite(off)) or np.any(off < 0):
+            raise ValueError("offsets must be finite and >= 0")
+
     if horizon is None:
-        hz = default_horizon_batch(batch, factor=horizon_factor)
+        hz = default_horizon_batch(batch, factor=horizon_factor, offsets=off)
     else:
         hz = np.broadcast_to(np.asarray(horizon, dtype=float), (B,)).copy()
         if np.any(hz <= 0):
             raise ValueError("horizon must be > 0")
     if max_events < 1:
         raise ValueError("max_events must be >= 1")
+
+    if sporadic:
+        if release_times is None:
+            release_times = sample_release_times_batch(batch, hz, rng, jitter)
+        else:
+            release_times = np.asarray(release_times, dtype=float)
+            if (
+                release_times.ndim != 3
+                or release_times.shape[:2] != (B, N)
+                or release_times.shape[2] < 1
+            ):
+                raise ValueError(
+                    f"release_times must have shape (B, N, K), got "
+                    f"{release_times.shape}"
+                )
+            if np.any(release_times < 0) or np.any(np.isnan(release_times)):
+                raise ValueError("release times must be >= 0")
+            # Element-wise comparisons (not diff): inf padding minus inf
+            # padding would warn, `inf < inf` is just False.
+            if np.any(release_times[:, :, 1:] < release_times[:, :, :-1]):
+                raise ValueError("release times must be ascending per task")
+            # One-slot-per-task layout: job k+1 may only release once job
+            # k's deadline has passed (gap >= D), else the replay would
+            # silently clobber a live job that the scalar
+            # simulate_release_schedule still tracks.  The internal
+            # sampler satisfies this by construction (gaps >= T >= D).
+            if np.any(
+                release_times[:, :, 1:]
+                < release_times[:, :, :-1] + batch.deadline[:, :, None]
+            ):
+                raise ValueError(
+                    "release times must be separated by at least each "
+                    "task's deadline (one live job per task)"
+                )
+            # Releases at/after the horizon never fire (the scalar loop's
+            # strict `release < horizon` filter); one trailing inf column
+            # keeps the advanced pointer a valid index.
+            release_times = np.concatenate(
+                [
+                    np.where(
+                        release_times < hz[:, None, None], release_times, np.inf
+                    ),
+                    np.full((B, N, 1), np.inf),
+                ],
+                axis=2,
+            )
 
     result_policy = placement_policy if use_placement else None
 
@@ -309,13 +527,16 @@ def simulate_batch(
             horizon=np.zeros(0, dtype=float),
             mode=mode,
             policy=result_policy,
+            release=release,
         )
+    hz_out = hz.copy()  # compaction rebinds hz; keep the full-batch view
 
     # -- working set: live (undecided) rows only ------------------------------
     # Task columns are permuted into lexicographic-name order once, so a
     # *stable* 2-key lexsort (release, deadline) reproduces the scalar
-    # queue's full (deadline, release, name) tie-break for free.
-    perm = np.argsort(_name_ranks(N), kind="stable")
+    # queue's full (deadline, release, name) tie-break for free.  The
+    # sporadic rank follows the scalar pseudo-task names instead.
+    perm = np.argsort(_name_ranks(N, sporadic=sporadic), kind="stable")
     idx = np.arange(B)
     wcet = np.array(batch.wcet[:, perm], dtype=float)
     period = np.array(batch.period[:, perm], dtype=float)
@@ -325,16 +546,25 @@ def simulate_batch(
     INF = np.inf
     # Inactivity is encoded as +inf: an inactive slot has abs_dl == inf
     # (sorts behind every active job, never a deadline candidate) and
-    # area_m == inf (never fits, never accumulates).  Synchronous release
-    # at t=0 (the scalar pre-loop release_due(0)) activates everything.
+    # area_m == inf (never fits, never accumulates).  All slots start
+    # inactive; the pre-loop release pass below (the scalar
+    # release_due(0)) activates whatever is due at t=0 — everything
+    # under synchronous release, nothing with a positive offset.
     remaining = wcet.copy()
     rel = np.zeros((B, N))
-    abs_dl = rel + deadline
-    area_m = area.copy()
+    abs_dl = np.full((B, N), INF)
+    area_m = np.full((B, N), INF)
     # next_rel slots are +inf once the next release would land at/after
     # the horizon (the scalar loop just keeps filtering them out).
-    next_rel = rel + period
-    next_rel[next_rel >= hz[:, None]] = INF
+    if sporadic:
+        release_times = release_times[:, perm, :]
+        rel_ptr = np.zeros((B, N), dtype=np.int64)
+        next_rel = release_times[:, :, 0].copy()
+        next_rel[next_rel >= hz[:, None]] = INF
+    else:
+        rel_ptr = None
+        first = np.zeros((B, N)) if off is None else off[:, perm]
+        next_rel = np.where(first < hz[:, None], first, INF)
     now = np.zeros(B)
     # Every live row steps one event per loop iteration, so a single
     # scalar counter tracks each row's event count.
@@ -354,6 +584,7 @@ def simulate_batch(
     def compact(keep: np.ndarray) -> None:
         nonlocal idx, wcet, period, deadline, area, hz, rows
         nonlocal remaining, rel, abs_dl, area_m, next_rel, now, area_i, pos, pin
+        nonlocal release_times, rel_ptr
         idx = idx[keep]
         wcet, period, deadline, area = (
             wcet[keep], period[keep], deadline[keep], area[keep],
@@ -364,11 +595,39 @@ def simulate_batch(
             next_rel[keep],
         )
         now = now[keep]
+        if sporadic:
+            release_times, rel_ptr = release_times[keep], rel_ptr[keep]
         if use_placement:
             area_i, pos = area_i[keep], pos[keep]
             if pin is not None:
                 pin = pin[keep]
         rows = rows[: idx.size]
+
+    def release_due() -> None:
+        """Activate every job due at the rows' current clocks — the
+        scalar ``release_due(now)`` (periods/gaps > eps make its
+        while-loop a single pass)."""
+        nonlocal rel, remaining, abs_dl, area_m, next_rel, rel_ptr
+        due = next_rel <= now[:, None] + eps
+        if not due.any():
+            return
+        rel = np.where(due, next_rel, rel)
+        remaining = np.where(due, wcet, remaining)
+        abs_dl = np.where(due, next_rel + deadline, abs_dl)
+        area_m = np.where(due, area, area_m)
+        if sporadic:
+            rel_ptr = rel_ptr + due
+            nxt = np.take_along_axis(
+                release_times, rel_ptr[:, :, None], axis=2
+            )[:, :, 0]
+            next_rel = np.where(due, nxt, next_rel)
+        else:
+            nxt = next_rel + period
+            next_rel = np.where(
+                due, np.where(nxt < hz[:, None], nxt, INF), next_rel
+            )
+
+    release_due()  # the scalar pre-loop release_due(0)
 
     while idx.size:
         iteration += 1
@@ -455,30 +714,16 @@ def simulate_batch(
             compact(~done)
             if not idx.size:
                 break
-            now_eps = now[:, None] + eps
 
-        # -- releases due at the new `now` (one job per task; periods > eps
-        #    make the scalar while-loop a single pass).
-        due = next_rel <= now_eps
-        if due.any():
-            rel = np.where(due, next_rel, rel)
-            remaining = np.where(due, wcet, remaining)
-            abs_dl = np.where(due, next_rel + deadline, abs_dl)
-            area_m = np.where(due, area, area_m)
-            nxt = next_rel + period
-            next_rel = np.where(
-                due, np.where(nxt < hz[:, None], nxt, INF), next_rel
-            )
+        # -- releases due at the new `now` (one job per task slot).
+        release_due()
 
     return SimBatchResult(
         schedulable=out_ok,
         budget_exceeded=out_exceeded,
         events=out_events,
-        horizon=np.asarray(
-            default_horizon_batch(batch, factor=horizon_factor)
-            if horizon is None
-            else np.broadcast_to(np.asarray(horizon, dtype=float), (B,))
-        ),
+        horizon=hz_out,
         mode=mode,
         policy=result_policy,
+        release=release,
     )

@@ -19,6 +19,25 @@ class TestParser:
         assert args.samples is None
         assert args.seed == 2007
         assert args.format == "text"
+        assert args.sim_mode == "free"
+        assert args.sim_policy == "first-fit"
+        assert args.sim_release == "periodic"
+        assert args.sim_jitter == 0.5
+
+    def test_sim_sweep_flags(self):
+        args = build_parser().parse_args([
+            "run", "fig3b", "--sim-mode", "relocatable",
+            "--sim-policy", "best-fit",
+            "--sim-release", "sporadic", "--sim-jitter", "0.8",
+        ])
+        assert args.sim_mode == "relocatable"
+        assert args.sim_policy == "best-fit"
+        assert args.sim_release == "sporadic"
+        assert args.sim_jitter == 0.8
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig3a", "--sim-mode", "warp"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig3a", "--sim-release", "x"])
 
 
 class TestCommands:
@@ -51,3 +70,20 @@ class TestCommands:
         assert main(["run", "ablation-alpha", "--samples", "30", "--plot"]) == 0
         out = capsys.readouterr().out
         assert "|" in out  # sparkline frame
+
+    def test_run_sporadic_ablation(self, capsys):
+        assert main(["run", "ablation-sporadic", "--samples", "4",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sim:periodic" in out and "sim:sporadic-search" in out
+
+    def test_run_figure_with_sim_sweep_flags(self, capsys):
+        """--sim-mode/--sim-release reach the figure-style runners
+        (the ROADMAP registry-exposure item)."""
+        assert main([
+            "run", "fig3a", "--samples", "15", "--seed", "3",
+            "--sim-mode", "relocatable", "--sim-policy", "best-fit",
+            "--sim-release", "sporadic",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sim:EDF-NF" in out

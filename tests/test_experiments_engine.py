@@ -420,6 +420,152 @@ class TestCiTargetSizing:
         assert args.ci_target == 0.05
 
 
+class TestOffsetAblationSoundness:
+    """The offset/sporadic searches are refinements: searched curves must
+    sit pointwise at or below their baseline curves (regression for the
+    bug where a sync-failing set could count as offset-accepted)."""
+
+    GRID = (40.0, 60.0, 85.0)
+
+    def test_offset_curve_pointwise_below_sync(self):
+        from repro.experiments.ablations import offset_ablation
+
+        curves = offset_ablation(
+            us_grid=self.GRID, samples=15, offset_samples=4, seed=43
+        )
+        sync = curves["sim:synchronous"].ratios
+        searched = curves["sim:offset-search"].ratios
+        for a, b in zip(sync, searched):
+            assert b <= a
+        assert all(0 <= r <= 1 for r in sync + searched)
+
+    def test_sporadic_curve_pointwise_below_periodic(self):
+        from repro.experiments.ablations import sporadic_ablation
+
+        curves = sporadic_ablation(
+            us_grid=self.GRID, samples=15, sporadic_samples=4, seed=47
+        )
+        periodic = curves["sim:periodic"].ratios
+        searched = curves["sim:sporadic-search"].ratios
+        for a, b in zip(periodic, searched):
+            assert b <= a
+
+    @pytest.mark.parametrize(
+        "ablation,kw",
+        [
+            ("offset_ablation", {"offset_samples": 3}),
+            ("sporadic_ablation", {"sporadic_samples": 3}),
+        ],
+    )
+    def test_vector_and_scalar_backends_agree(self, ablation, kw):
+        """Shared offset/schedule streams -> identical curves."""
+        from repro.experiments import ablations
+
+        fn = getattr(ablations, ablation)
+        v = fn(us_grid=(50.0, 80.0), samples=8, seed=5, sim_backend="vector", **kw)
+        s = fn(us_grid=(50.0, 80.0), samples=8, seed=5, sim_backend="scalar", **kw)
+        for label in v.labels:
+            assert v[label].ratios == s[label].ratios, label
+
+    def test_zero_pattern_samples_degenerate_to_baseline(self):
+        from repro.experiments.ablations import offset_ablation, sporadic_ablation
+
+        o = offset_ablation(us_grid=(60.0,), samples=10, offset_samples=0, seed=3)
+        assert o["sim:synchronous"].ratios == o["sim:offset-search"].ratios
+        s = sporadic_ablation(
+            us_grid=(60.0,), samples=10, sporadic_samples=0, seed=3
+        )
+        assert s["sim:periodic"].ratios == s["sim:sporadic-search"].ratios
+
+    def test_validation(self):
+        from repro.experiments.ablations import offset_ablation, sporadic_ablation
+
+        with pytest.raises(ValueError):
+            offset_ablation(samples=5, sim_backend="quantum")
+        with pytest.raises(ValueError):
+            offset_ablation(samples=5, offset_samples=-1)
+        with pytest.raises(ValueError):
+            sporadic_ablation(samples=5, sim_backend="quantum")
+        with pytest.raises(ValueError):
+            sporadic_ablation(samples=5, sporadic_samples=-1)
+
+
+class TestSimReleaseThreading:
+    """sim_release/sim_jitter reach the engine's vector sim curves."""
+
+    def _run(self, **kw):
+        defaults = dict(
+            profile=paper_unconstrained(4),
+            fpga=Fpga(width=100),
+            us_grid=[30.0, 70.0],
+            samples_per_point=20,
+            seed=17,
+            tests=(),
+            horizon_factor=5,
+        )
+        defaults.update(kw)
+        return acceptance_experiment(**defaults)
+
+    def test_sporadic_curves_produced_and_reproducible(self):
+        a = self._run(sim_release="sporadic")
+        b = self._run(sim_release="sporadic")
+        assert a.series == b.series
+        for s in a.series:
+            assert all(0 <= r <= 1 for r in s.ratios)
+
+    def test_zero_jitter_degenerates_to_periodic(self):
+        """sim_jitter=0 draws gap == T schedules: same curves as the
+        periodic pattern (and proof the jitter knob reaches the sampler)."""
+        lo = self._run(sim_release="sporadic", sim_jitter=0.0)
+        periodic = self._run()
+        assert lo.series == periodic.series
+
+    def test_schedulers_share_patterns(self):
+        """Both sim curves in a bucket see the same sampled schedules, so
+        NF dominance over FkF holds pairwise under sporadic release."""
+        curves = self._run(
+            sim_release="sporadic", sim_schedulers=("EDF-NF", "EDF-FkF")
+        )
+        for a, b in zip(
+            curves["sim:EDF-NF"].ratios, curves["sim:EDF-FkF"].ratios
+        ):
+            assert b <= a + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._run(sim_release="bursty")
+        with pytest.raises(ValueError):
+            self._run(sim_jitter=-0.5)
+        with pytest.raises(ValueError):
+            self._run(sim_release="sporadic", sim_backend="scalar")
+        # scalar backend fine when no sim curves requested
+        curves = self._run(
+            sim_release="sporadic", sim_backend="scalar",
+            sim_schedulers=(), tests=("DP",),
+        )
+        assert curves.labels == ("DP",)
+
+    def test_run_figure_exposes_release_and_mode(self):
+        from repro.fpga.placement import PlacementPolicy
+        from repro.sim.simulator import MigrationMode
+
+        sporadic = run_figure(
+            "fig3a", samples=20, sim_samples=10, seed=3,
+            sim_release="sporadic", horizon_factor=5,
+        )
+        assert "sim:EDF-NF" in sporadic.labels
+        placed = run_figure(
+            "fig3a", samples=20, sim_samples=10, seed=3,
+            sim_mode=MigrationMode.RELOCATABLE,
+            sim_policy=PlacementPolicy.BEST_FIT, horizon_factor=5,
+        )
+        free = run_figure(
+            "fig3a", samples=20, sim_samples=10, seed=3, horizon_factor=5,
+        )
+        for p, f in zip(placed["sim:EDF-NF"].ratios, free["sim:EDF-NF"].ratios):
+            assert p <= f + 1e-12
+
+
 class TestSimModeThreading:
     """mode/policy reach the engine's sim curves on both backends."""
 

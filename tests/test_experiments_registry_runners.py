@@ -12,6 +12,7 @@ from repro.experiments.ablations import (
     nf_vs_fkf_ablation,
     offset_ablation,
     placement_ablation,
+    sporadic_ablation,
 )
 from repro.experiments.registry import EXPERIMENTS
 
@@ -59,6 +60,42 @@ class TestAblationRunnersDirect:
         searched = curves["sim:offset-search"]
         for a, b in zip(sync.ratios, searched.ratios):
             assert b <= a
+
+    def test_sporadic_small(self):
+        curves = sporadic_ablation(
+            us_grid=(50.0, 80.0), samples=5, sporadic_samples=3, seed=3
+        )
+        periodic = curves["sim:periodic"]
+        searched = curves["sim:sporadic-search"]
+        for a, b in zip(periodic.ratios, searched.ratios):
+            assert b <= a
+
+    def test_release_pattern_runners_registered(self):
+        """Both release-pattern searches run off the registry (and accept
+        the CLI's sim_* sweep kwargs without choking)."""
+        from repro.fpga.placement import PlacementPolicy
+        from repro.sim.simulator import MigrationMode
+
+        for eid in ("ablation-offsets", "ablation-sporadic"):
+            curves = EXPERIMENTS[eid].runner(
+                4, 3, 1,
+                sim_backend="vector", ci_target=None,
+                sim_mode=MigrationMode.FREE,
+                sim_policy=PlacementPolicy.FIRST_FIT,
+                sim_release="periodic", sim_jitter=0.5,
+            )
+            assert len(curves.series) == 2
+
+    def test_sporadic_runner_honours_sim_jitter(self):
+        """--sim-jitter reaches sporadic_ablation: zero jitter makes every
+        sampled pattern periodic, so the searched curve collapses onto
+        the baseline."""
+        curves = EXPERIMENTS["ablation-sporadic"].runner(
+            6, 3, 1, sim_jitter=0.0
+        )
+        assert curves["sim:periodic"].ratios == (
+            curves["sim:sporadic-search"].ratios
+        )
 
 
 class TestCensusCli:

@@ -1,0 +1,166 @@
+"""Tests for the release-offset search (`repro.sim.offsets`).
+
+Centerpiece: the horizon-extension rule.  Shifting a task's first
+release to ``O_i`` removes jobs from a fixed window (it sees
+``floor((H - O_i) / T_i)`` jobs instead of ``floor(H / T_i)``), so an
+offset pattern simulated over the *synchronous* window can silently
+check fewer jobs per task and falsely pass — the regression fixture
+below only misses inside the extension window.
+"""
+
+import numpy as np
+import pytest
+
+import repro.sim.offsets as offsets_mod
+from repro.fpga.device import Fpga
+from repro.model.task import Task, TaskSet
+from repro.sched.edf_nf import EdfNf
+from repro.sim.offsets import sample_offsets, simulate_with_offsets
+from repro.sim.simulator import default_horizon, simulate
+from repro.util.rngutil import rng_from_seed
+
+FPGA = Fpga(width=10)
+
+#: Sync-schedulable over H = default_horizon(factor=2) = 26.4, and the
+#: offset pattern below *passes* over that unextended window but misses
+#: a deadline inside the extension window (H, H + max offset].
+REGRESSION_TS = TaskSet(
+    [
+        Task(wcet=3.1, period=6.0, deadline=5.1, area=5, name="tau1"),
+        Task(wcet=4.4, period=9.0, deadline=8.4, area=5, name="tau2"),
+        Task(wcet=5.4, period=7.0, deadline=6.5, area=4, name="tau3"),
+    ]
+)
+REGRESSION_OFFSETS = {"tau1": 4.7, "tau2": 1.0, "tau3": 2.0}
+
+
+def small_ts():
+    return TaskSet(
+        [
+            Task(wcet=1, period=5, area=4, name="a"),
+            Task(wcet=2, period=8, area=5, name="b"),
+        ]
+    )
+
+
+class TestDefaultHorizonOffsets:
+    def test_no_offsets_unchanged(self):
+        ts = small_ts()
+        assert default_horizon(ts, factor=3) == 8 + 3 * 8
+        assert default_horizon(ts, factor=3, offsets={}) == 8 + 3 * 8
+        assert default_horizon(ts, factor=3, offsets=None) == 8 + 3 * 8
+
+    def test_extended_by_max_offset(self):
+        ts = small_ts()
+        base = default_horizon(ts, factor=3)
+        assert default_horizon(ts, factor=3, offsets={"a": 2.5}) == base + 2.5
+        assert (
+            default_horizon(ts, factor=3, offsets={"a": 2.5, "b": 7.0})
+            == base + 7.0
+        )
+
+    def test_zero_offsets_unchanged(self):
+        ts = small_ts()
+        assert default_horizon(
+            ts, factor=3, offsets={"a": 0.0, "b": 0.0}
+        ) == default_horizon(ts, factor=3)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            default_horizon(small_ts(), offsets={"a": -1.0})
+
+
+class TestHorizonExtensionRegression:
+    """The offset-shift unsoundness: fewer simulated jobs per task."""
+
+    def test_fixture_shape(self):
+        horizon = default_horizon(REGRESSION_TS, factor=2)
+        assert simulate(REGRESSION_TS, FPGA, EdfNf(), horizon).schedulable
+        # The unextended window sees too few jobs and falsely passes...
+        assert simulate(
+            REGRESSION_TS, FPGA, EdfNf(), horizon, offsets=REGRESSION_OFFSETS
+        ).schedulable
+        # ...the extended window catches the miss.
+        extended = default_horizon(
+            REGRESSION_TS, factor=2, offsets=REGRESSION_OFFSETS
+        )
+        assert extended == horizon + 4.7
+        assert not simulate(
+            REGRESSION_TS, FPGA, EdfNf(), extended, offsets=REGRESSION_OFFSETS
+        ).schedulable
+
+    def test_simulate_with_offsets_extends_the_window(self, monkeypatch):
+        """The search applies the extension rule per assignment."""
+        monkeypatch.setattr(
+            offsets_mod, "sample_offsets", lambda ts, rng: dict(REGRESSION_OFFSETS)
+        )
+        horizon = default_horizon(REGRESSION_TS, factor=2)
+        result = simulate_with_offsets(
+            REGRESSION_TS, FPGA, EdfNf(), horizon, rng_from_seed(1), samples=1
+        )
+        assert not result.schedulable
+
+    def test_batched_path_mirrors_the_extension(self):
+        """simulate_batch(offsets=...) applies the same rule by default."""
+        from repro.vector.batch import TaskSetBatch
+        from repro.vector.sim_vec import default_horizon_batch, simulate_batch
+
+        batch = TaskSetBatch.from_tasksets([REGRESSION_TS])
+        offs = np.array([[4.7, 1.0, 2.0]])
+        hz = default_horizon_batch(batch, factor=2, offsets=offs)
+        assert hz[0] == float(
+            default_horizon(REGRESSION_TS, factor=2, offsets=REGRESSION_OFFSETS)
+        )
+        res = simulate_batch(
+            batch, FPGA, "EDF-NF", offsets=offs, horizon_factor=2
+        )
+        assert res.horizon[0] == hz[0]
+        assert not res.schedulable[0]
+        # The unextended window reproduces the old false pass.
+        base = default_horizon_batch(batch, factor=2)
+        assert simulate_batch(
+            batch, FPGA, "EDF-NF", offsets=offs, horizon=base
+        ).schedulable[0]
+
+
+class TestSimulateWithOffsets:
+    def test_synchronous_pattern_included_by_default(self):
+        """A sync-failing set must never be offset-accepted: the all-zero
+        pattern is part of the default search."""
+        doomed = TaskSet(
+            [Task(wcet=6, period=10, deadline=5, area=4, name="x")]
+        )
+        res = simulate_with_offsets(
+            doomed, FPGA, EdfNf(), 30, rng_from_seed(2), samples=0
+        )
+        assert not res.schedulable
+
+    def test_failing_pattern_is_returned_as_certificate(self):
+        res = simulate_with_offsets(
+            REGRESSION_TS,
+            FPGA,
+            EdfNf(),
+            default_horizon(REGRESSION_TS, factor=2),
+            rng_from_seed(3),
+            samples=8,
+        )
+        if not res.schedulable:
+            assert res.misses
+
+    def test_sample_offsets_within_period(self):
+        ts = small_ts()
+        offs = sample_offsets(ts, rng_from_seed(4))
+        assert set(offs) == {"a", "b"}
+        for t in ts:
+            assert 0 <= offs[t.name] < float(t.period)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_with_offsets(
+                small_ts(), FPGA, EdfNf(), 10, rng_from_seed(1), samples=-1
+            )
+        with pytest.raises(ValueError):
+            simulate_with_offsets(
+                small_ts(), FPGA, EdfNf(), 10, rng_from_seed(1),
+                samples=0, include_synchronous=False,
+            )

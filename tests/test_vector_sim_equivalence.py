@@ -5,9 +5,11 @@ vector tests) is *bit-identical* schedulability verdicts between
 :func:`repro.vector.sim_vec.simulate_batch` and the scalar
 :func:`repro.sim.simulator.simulate` run on ``batch.taskset(i)``, for
 EDF-NF and EDF-FkF, on random batches (float and integer periods), on
-the paper's knife-edge tasksets, and — for the placement-aware
+the paper's knife-edge tasksets, for the placement-aware
 RELOCATABLE/PINNED modes — under every placement policy, with and
-without static-region pre-fragmentation.
+without static-region pre-fragmentation — and for every release
+pattern: random per-row offsets against ``simulate(offsets=...)`` and
+seed-shared sporadic schedules against ``simulate_release_schedule``.
 """
 
 import warnings
@@ -32,9 +34,15 @@ from repro.sim.simulator import (
     default_horizon,
     simulate,
 )
+from repro.sim.sporadic import sample_release_schedule, simulate_release_schedule
 from repro.util.rngutil import rng_from_seed
 from repro.vector.batch import TaskSetBatch, generate_batch
-from repro.vector.sim_vec import default_horizon_batch, simulate_batch
+from repro.vector.sim_vec import (
+    default_horizon_batch,
+    sample_offsets_batch,
+    sample_release_times_batch,
+    simulate_batch,
+)
 
 CAPACITY = 100
 FPGA = Fpga(width=CAPACITY)
@@ -337,6 +345,295 @@ class TestEdgeCases:
         )
         with pytest.raises(ValueError):
             simulate_batch(batch, 10.5, mode=MigrationMode.PINNED)
+
+
+def _offsets_map(batch, offsets, i):
+    """Row ``i`` of an offsets array as the scalar simulate() mapping."""
+    return {f"tau{j + 1}": float(offsets[i, j]) for j in range(batch.n_tasks)}
+
+
+def _assert_offset_verdicts_match(batch, offsets, sched_name, sched_cls,
+                                  fpga=FPGA, factor=5, mode=MigrationMode.FREE):
+    vec = simulate_batch(
+        batch, fpga, sched_name, offsets=offsets,
+        horizon_factor=factor, mode=mode,
+    )
+    for i in range(batch.count):
+        ts = batch.taskset(i)
+        omap = _offsets_map(batch, offsets, i)
+        ref = simulate(
+            ts, fpga, sched_cls(),
+            default_horizon(ts, factor=factor, offsets=omap),
+            offsets=omap, mode=mode,
+        ).schedulable
+        assert bool(vec.schedulable[i]) == ref, f"set {i}: {ts} offsets {omap}"
+    return vec
+
+
+def _assert_sporadic_verdicts_match(batch, seed, sched_name, sched_cls,
+                                    jitter=0.5, fpga=FPGA, factor=5,
+                                    mode=MigrationMode.FREE):
+    """Shared-seed contract: one generator drives the batched sampler, an
+    identically-seeded twin drives per-row scalar sample_release_schedule
+    calls in row order — verdicts must agree bit for bit."""
+    vec = simulate_batch(
+        batch, fpga, sched_name, release="sporadic", jitter=jitter,
+        rng=rng_from_seed(seed), horizon_factor=factor, mode=mode,
+    )
+    hz = default_horizon_batch(batch, factor=factor)
+    scalar_rng = rng_from_seed(seed)
+    for i in range(batch.count):
+        ts = batch.taskset(i)
+        schedule = sample_release_schedule(ts, hz[i], scalar_rng, jitter)
+        ref = simulate_release_schedule(
+            ts, fpga, sched_cls(), hz[i], schedule, mode=mode
+        ).schedulable
+        assert bool(vec.schedulable[i]) == ref, f"set {i}: {ts}"
+    return vec
+
+
+@pytest.mark.parametrize("sched_name,sched_cls", SCHEDULERS)
+class TestOffsetEquivalence:
+    """Random per-row offsets: batch verdicts == simulate(offsets=...)."""
+
+    @pytest.mark.parametrize(
+        "profile",
+        [paper_unconstrained(4), paper_unconstrained(10),
+         GenerationProfile(n_tasks=6, integer_periods=True, name="int-6")],
+        ids=lambda p: p.name,
+    )
+    def test_random_offsets_bit_identical(self, profile, sched_name, sched_cls):
+        batch = _batch(profile, seed=31)
+        offsets = sample_offsets_batch(batch, rng_from_seed(310))
+        vec = _assert_offset_verdicts_match(batch, offsets, sched_name, sched_cls)
+        assert vec.release == "periodic"
+
+    def test_zero_offsets_match_synchronous(self, sched_name, sched_cls):
+        batch = _batch(paper_unconstrained(5), seed=32, count=15)
+        zero = np.zeros((batch.count, batch.n_tasks))
+        plain = simulate_batch(batch, CAPACITY, sched_name, horizon_factor=5)
+        offs = simulate_batch(
+            batch, CAPACITY, sched_name, offsets=zero, horizon_factor=5
+        )
+        assert (plain.schedulable == offs.schedulable).all()
+        assert (plain.horizon == offs.horizon).all()
+
+    def test_offset_equal_period(self, sched_name, sched_cls):
+        """Knife edge: every first release exactly one period late."""
+        batch = _batch(paper_unconstrained(4), seed=33, count=12)
+        _assert_offset_verdicts_match(
+            batch, batch.period.copy(), sched_name, sched_cls
+        )
+
+    def test_offset_at_and_beyond_horizon(self, sched_name, sched_cls):
+        """Knife edge: a task whose offset reaches the (explicit) horizon
+        never releases — in both simulators (strict `release < horizon`)."""
+        batch = _batch(paper_unconstrained(3), seed=34, count=10)
+        horizon = 30.0
+        offsets = np.zeros((batch.count, batch.n_tasks))
+        offsets[:, 0] = horizon  # exactly at the horizon
+        offsets[:, -1] = horizon + 5.0  # beyond it
+        vec = simulate_batch(
+            batch, CAPACITY, sched_name, offsets=offsets, horizon=horizon
+        )
+        for i in range(batch.count):
+            ts = batch.taskset(i)
+            ref = simulate(
+                ts, FPGA, sched_cls(), horizon,
+                offsets=_offsets_map(batch, offsets, i),
+            ).schedulable
+            assert bool(vec.schedulable[i]) == ref
+
+    def test_offsets_with_placement_modes(self, sched_name, sched_cls):
+        batch = _placement_batch(seed=35, count=8)
+        offsets = sample_offsets_batch(batch, rng_from_seed(350))
+        for fpga in PLACEMENT_DEVICES:
+            for mode in PLACEMENT_MODES:
+                _assert_offset_verdicts_match(
+                    batch, offsets, sched_name, sched_cls,
+                    fpga=fpga, factor=4, mode=mode,
+                )
+
+
+@pytest.mark.parametrize("sched_name,sched_cls", SCHEDULERS)
+class TestSporadicEquivalence:
+    """Seed-shared sporadic schedules: batch == simulate_release_schedule."""
+
+    @pytest.mark.parametrize(
+        "profile",
+        [paper_unconstrained(4), paper_unconstrained(10),
+         GenerationProfile(n_tasks=6, integer_periods=True, name="int-6")],
+        ids=lambda p: p.name,
+    )
+    def test_shared_seed_bit_identical(self, profile, sched_name, sched_cls):
+        batch = _batch(profile, seed=41)
+        vec = _assert_sporadic_verdicts_match(batch, 410, sched_name, sched_cls)
+        assert vec.release == "sporadic"
+
+    def test_zero_jitter_matches_periodic(self, sched_name, sched_cls):
+        """Knife edge: jitter 0 degenerates to the synchronous-periodic
+        pattern — same releases, same verdicts (float periods, so no
+        cross-task deadline ties to expose the pseudo-name rank)."""
+        batch = _batch(paper_unconstrained(5), seed=42, count=20)
+        periodic = simulate_batch(batch, CAPACITY, sched_name, horizon_factor=5)
+        sporadic = simulate_batch(
+            batch, CAPACITY, sched_name, release="sporadic", jitter=0.0,
+            rng=rng_from_seed(420), horizon_factor=5,
+        )
+        assert (periodic.schedulable == sporadic.schedulable).all()
+
+    def test_release_times_replay_matches_rng(self, sched_name, sched_cls):
+        """Precomputed release_times replay == in-call rng sampling."""
+        batch = _batch(paper_unconstrained(4), seed=43, count=10)
+        hz = default_horizon_batch(batch, factor=5)
+        times = sample_release_times_batch(batch, hz, rng_from_seed(430), 0.5)
+        replay = simulate_batch(
+            batch, CAPACITY, sched_name, release="sporadic",
+            release_times=times, horizon_factor=5,
+        )
+        sampled = simulate_batch(
+            batch, CAPACITY, sched_name, release="sporadic",
+            rng=rng_from_seed(430), horizon_factor=5,
+        )
+        assert (replay.schedulable == sampled.schedulable).all()
+
+    def test_sporadic_with_placement_modes(self, sched_name, sched_cls):
+        batch = _placement_batch(seed=44, count=8)
+        for mode in PLACEMENT_MODES:
+            _assert_sporadic_verdicts_match(
+                batch, 440, sched_name, sched_cls,
+                fpga=PLACEMENT_DEVICES[1], factor=4, mode=mode,
+            )
+
+
+try:
+    from hypothesis import given, settings, strategies as st
+except ImportError:  # pragma: no cover - CI always installs hypothesis
+    given = None
+
+if given is not None:
+
+    class TestReleasePatternProperties:
+        """Hypothesis sweep over seeds/jitter: the equivalences hold on
+        arbitrary random batches, not just the fixed ones above."""
+
+        @given(seed=st.integers(0, 10**6))
+        @settings(max_examples=10, deadline=None)
+        def test_random_offsets(self, seed):
+            rng = rng_from_seed(seed)
+            n = int(rng.integers(1, 7))
+            batch = _batch(paper_unconstrained(n), seed=seed, count=8)
+            if batch.count == 0:
+                return
+            offsets = sample_offsets_batch(batch, rng)
+            for sched_name, sched_cls in SCHEDULERS:
+                _assert_offset_verdicts_match(
+                    batch, offsets, sched_name, sched_cls, factor=3
+                )
+
+        @given(seed=st.integers(0, 10**6),
+               jitter=st.floats(0.0, 2.0, allow_nan=False))
+        @settings(max_examples=10, deadline=None)
+        def test_random_sporadic_schedules(self, seed, jitter):
+            rng = rng_from_seed(seed)
+            n = int(rng.integers(1, 7))
+            batch = _batch(paper_unconstrained(n), seed=seed + 1, count=8)
+            if batch.count == 0:
+                return
+            for sched_name, sched_cls in SCHEDULERS:
+                _assert_sporadic_verdicts_match(
+                    batch, seed, sched_name, sched_cls, jitter=jitter,
+                    factor=3,
+                )
+
+
+class TestReleasePatternValidation:
+    def _tiny(self):
+        return TaskSetBatch(
+            np.array([[1.0]]), np.array([[4.0]]),
+            np.array([[4.0]]), np.array([[2.0]]),
+        )
+
+    def test_unknown_release_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_batch(self._tiny(), 10, release="bursty")
+
+    def test_sporadic_needs_exactly_one_source(self):
+        t = self._tiny()
+        with pytest.raises(ValueError):
+            simulate_batch(t, 10, release="sporadic")  # neither
+        times = np.array([[[0.0, np.inf]]])
+        with pytest.raises(ValueError):
+            simulate_batch(
+                t, 10, release="sporadic",
+                rng=rng_from_seed(1), release_times=times,
+            )  # both
+
+    def test_periodic_rejects_sporadic_knobs(self):
+        t = self._tiny()
+        with pytest.raises(ValueError):
+            simulate_batch(t, 10, rng=rng_from_seed(1))
+        with pytest.raises(ValueError):
+            simulate_batch(t, 10, release_times=np.array([[[0.0]]]))
+
+    def test_offsets_incompatible_with_sporadic(self):
+        with pytest.raises(ValueError):
+            simulate_batch(
+                self._tiny(), 10, release="sporadic",
+                rng=rng_from_seed(1), offsets=np.array([[1.0]]),
+            )
+
+    def test_bad_offsets_rejected(self):
+        t = self._tiny()
+        with pytest.raises(ValueError):
+            simulate_batch(t, 10, offsets=np.array([[-1.0]]))
+        with pytest.raises(ValueError):
+            simulate_batch(t, 10, offsets=np.array([[np.inf]]))
+        with pytest.raises(ValueError):
+            simulate_batch(t, 10, jitter=-0.1)
+
+    def test_bad_release_times_rejected(self):
+        t = self._tiny()
+        for times in (
+            np.array([[0.0]]),  # not 3-D
+            np.zeros((2, 1, 1)),  # wrong B
+            np.array([[[3.0, 1.0]]]),  # descending
+            np.array([[[-1.0]]]),  # negative
+        ):
+            with pytest.raises(ValueError):
+                simulate_batch(
+                    t, 10, release="sporadic", release_times=times
+                )
+
+    def test_release_gap_below_deadline_rejected(self):
+        """Regression: a replayed gap shorter than the deadline would
+        clobber the live job in the one-slot-per-task layout and return
+        a false schedulable verdict — it must be rejected instead."""
+        batch = TaskSetBatch(
+            np.array([[3.0]]), np.array([[4.0]]),
+            np.array([[4.0]]), np.array([[60.0]]),
+        )
+        with pytest.raises(ValueError, match="deadline"):
+            simulate_batch(
+                batch, 100, release="sporadic",
+                release_times=np.array([[[0.0, 1.0, np.inf]]]),
+                horizon=10.0,
+            )
+        # gap == deadline is the legal knife edge (job decided at its
+        # deadline before the successor releases)
+        ok = simulate_batch(
+            batch, 100, release="sporadic",
+            release_times=np.array([[[0.0, 4.0, np.inf]]]),
+            horizon=10.0,
+        )
+        assert ok.count == 1
+
+    def test_sampler_validation(self):
+        t = self._tiny()
+        with pytest.raises(ValueError):
+            sample_release_times_batch(t, 10.0, rng_from_seed(1), -0.5)
+        with pytest.raises(ValueError):
+            sample_release_times_batch(t, 0.0, rng_from_seed(1))
 
 
 class TestValidation:
