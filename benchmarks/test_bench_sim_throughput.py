@@ -6,6 +6,13 @@ regressions show up.  The batch benches compare the scalar per-taskset
 event loop against the vectorized FREE-mode batch simulator
 (:func:`repro.vector.sim_vec.simulate_batch`) at B=1000 and report the
 per-set speedup that lets the acceptance engine simulate full buckets.
+
+The per-backend axis runs the batched simulator once per installed
+:mod:`repro.vector.xp` backend (numpy always; torch-CPU and the device
+backends when importable, skip-with-reason otherwise), asserts verdict
+parity against the numpy run, and records the backend name in the
+benchmark JSON (``extra_info["array_backend"]``) so the uploaded
+``BENCH_<sha>.json`` artifacts chart backend speedups over time.
 """
 
 import time
@@ -20,11 +27,23 @@ from repro.sched.edf_fkf import EdfFkf
 from repro.sched.edf_nf import EdfNf
 from repro.sim.simulator import MigrationMode, default_horizon, simulate
 from repro.util.rngutil import rng_from_seed
+from repro.vector import xp as xp_backends
 from repro.vector.batch import generate_batch
 from repro.vector.sim_vec import simulate_batch
 
 FPGA = Fpga(width=100)
 BATCH = 1000  # the ISSUE's reference batch size for the speedup target
+
+
+def _backend_params():
+    """numpy always; the optional backends (incl. the GPU legs) skip
+    with the precise unavailability reason when absent."""
+    params = [pytest.param("numpy", id="numpy")]
+    for name in ("torch", "torch:cuda", "cupy"):
+        reason = xp_backends.backend_skip_reason(name)
+        marks = () if reason is None else pytest.mark.skip(reason=reason)
+        params.append(pytest.param(name, id=name, marks=marks))
+    return params
 
 
 def _workload():
@@ -118,3 +137,28 @@ def test_bench_sim_batch_vector_vs_scalar(benchmark, sched_name, sched_cls):
     # the demonstration); 5x is the regression floor, wide enough that
     # noisy CI neighbours cannot fail the suite without a real regression.
     assert speedup > 5.0
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parametrize("backend", _backend_params())
+def test_bench_sim_batch_array_backends(benchmark, backend):
+    """Batched-simulator throughput per array backend (parity-checked).
+
+    The numpy leg doubles as the indirection-overhead guard for the
+    pluggable namespace; the torch/cupy legs start the per-backend perf
+    trajectory (torch-CPU is expected near numpy; the device backends
+    are the scaling headroom).
+    """
+    batch = _sim_batch()
+    benchmark.group = "sim-batch-array-backend"
+    benchmark.extra_info["array_backend"] = backend
+
+    res = benchmark(
+        lambda: simulate_batch(batch, 100, "EDF-NF", array_backend=backend)
+    )
+
+    reference = simulate_batch(batch, 100, "EDF-NF", array_backend="numpy")
+    assert (res.schedulable == reference.schedulable).all()
+    assert res.schedulable.dtype == np.bool_  # host verdicts, any backend
+    per_set = benchmark.stats.stats.mean / BATCH
+    print(f"\n{backend}: {per_set * 1e6:.1f} us/set at B={BATCH}")

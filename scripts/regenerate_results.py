@@ -39,6 +39,12 @@ def main() -> None:
                              "the scalar one)")
     parser.add_argument("--sim-backend", choices=("vector", "scalar"),
                         default="vector", dest="sim_backend")
+    parser.add_argument("--array-backend",
+                        choices=("numpy", "cupy", "torch", "torch:cuda"),
+                        default=None, dest="array_backend",
+                        help="array namespace for the vectorized kernels "
+                             "(default: REPRO_ARRAY_BACKEND env var, then "
+                             "numpy); cupy/torch are optional installs")
     parser.add_argument("--ci-target", type=float, default=None,
                         dest="ci_target",
                         help="adaptive bucket sizing: per-bucket draws stop "
@@ -48,6 +54,12 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=2007)
     parser.add_argument("--out", type=Path, default=Path("results"))
     args = parser.parse_args()
+
+    if args.array_backend is not None:
+        # Process-wide so the analytical curves follow the selection too.
+        from repro.vector import xp as array_xp
+
+        array_xp.set_backend(args.array_backend)
 
     args.out.mkdir(parents=True, exist_ok=True)
     blocks = []
@@ -62,6 +74,7 @@ def main() -> None:
             samples=args.samples,
             sim_samples=sim_samples,
             sim_backend=args.sim_backend,
+            sim_array_backend=args.array_backend,
             seed=args.seed,
             workers=args.workers,
             ci_target=args.ci_target,
@@ -81,16 +94,19 @@ def main() -> None:
     # at ~50 sets per bucket).
     blocks.append(as_text(placement_ablation(samples=max(50, args.samples // 4),
                                              seed=41,
-                                             sim_backend=args.sim_backend)))
+                                             sim_backend=args.sim_backend,
+                                             array_backend=args.array_backend)))
     # The release-pattern searches fan their pattern axis into the batch
     # dimension, so full buckets are affordable here too (the scalar
     # path capped these at ~50 sets per bucket).
     blocks.append(as_text(offset_ablation(samples=max(50, args.samples // 10),
                                           seed=43,
-                                          sim_backend=args.sim_backend)))
+                                          sim_backend=args.sim_backend,
+                                          array_backend=args.array_backend)))
     blocks.append(as_text(sporadic_ablation(samples=max(50, args.samples // 10),
                                             seed=47,
-                                            sim_backend=args.sim_backend)))
+                                            sim_backend=args.sim_backend,
+                                            array_backend=args.array_backend)))
 
     data = "\n\n".join(blocks)
     (args.out / "experiments_data.txt").write_text(data)

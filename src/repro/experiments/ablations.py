@@ -92,6 +92,7 @@ def nf_vs_fkf_ablation(
     seed: int = 37,
     workers: int = 1,
     sim_backend: str = "vector",
+    sim_array_backend: Optional[str] = None,
     ci_target: Optional[float] = None,
 ) -> AcceptanceCurves:
     """Simulated acceptance of the two global EDF variants."""
@@ -106,6 +107,7 @@ def nf_vs_fkf_ablation(
         sim_schedulers=("EDF-NF", "EDF-FkF"),
         sim_samples_per_point=None if ci_target is not None else samples,
         sim_backend=sim_backend,
+        sim_array_backend=sim_array_backend,
         workers=workers,
         name="ablation: EDF-NF vs EDF-FkF (simulation)",
         ci_target=ci_target,
@@ -120,6 +122,7 @@ def placement_ablation(
     policies: Sequence[PlacementPolicy] = (PlacementPolicy.FIRST_FIT,),
     horizon_factor: int = 10,
     sim_backend: str = "vector",
+    array_backend: Optional[str] = None,
     fpga: Optional[Fpga] = None,
 ) -> AcceptanceCurves:
     """Simulated acceptance: free migration vs contiguous placement modes.
@@ -134,6 +137,8 @@ def placement_ablation(
     runs each curve through the batched simulator's array free-list and
     makes full paper-scale buckets affordable; ``"scalar"`` walks the
     per-taskset event loop (bit-identical verdicts, for cross-checks).
+    ``array_backend`` selects the :mod:`repro.vector.xp` namespace the
+    batched simulator computes on (``None`` = ambient precedence).
     """
     profile = profile or paper_unconstrained(10)
     if sim_backend not in ("vector", "scalar"):
@@ -154,6 +159,7 @@ def placement_ablation(
                     batch, fpga, "EDF-NF",
                     mode=mode, placement_policy=policy,
                     horizon_factor=horizon_factor,
+                    array_backend=array_backend,
                 )
                 ratios[label].append(res.acceptance_ratio)
         else:
@@ -189,6 +195,7 @@ def offset_ablation(
     seed: int = 43,
     horizon_factor: int = 10,
     sim_backend: str = "vector",
+    array_backend: Optional[str] = None,
 ) -> AcceptanceCurves:
     """Synchronous-release acceptance vs offset-searched acceptance.
 
@@ -222,7 +229,8 @@ def offset_ablation(
         offset_rng = rng_from_seed(seed * 1000 + i)
         if sim_backend == "vector":
             sync = simulate_batch(
-                batch, fpga, "EDF-NF", horizon_factor=horizon_factor
+                batch, fpga, "EDF-NF", horizon_factor=horizon_factor,
+                array_backend=array_backend,
             ).schedulable
             searched = sync.copy()
             if offset_samples:
@@ -238,6 +246,7 @@ def offset_ablation(
                     fanned, fpga, "EDF-NF",
                     offsets=offs.reshape(-1, batch.n_tasks),
                     horizon_factor=horizon_factor,
+                    array_backend=array_backend,
                 )
                 searched &= res.schedulable.reshape(
                     batch.count, offset_samples
@@ -286,6 +295,7 @@ def sporadic_ablation(
     seed: int = 47,
     horizon_factor: int = 10,
     sim_backend: str = "vector",
+    array_backend: Optional[str] = None,
 ) -> AcceptanceCurves:
     """Periodic-release acceptance vs sporadic-searched acceptance.
 
@@ -317,7 +327,8 @@ def sporadic_ablation(
         pattern_rng = rng_from_seed(seed * 1000 + i)
         if sim_backend == "vector":
             periodic = simulate_batch(
-                batch, fpga, "EDF-NF", horizon_factor=horizon_factor
+                batch, fpga, "EDF-NF", horizon_factor=horizon_factor,
+                array_backend=array_backend,
             ).schedulable
             searched = periodic.copy()
             if sporadic_samples:
@@ -326,6 +337,7 @@ def sporadic_ablation(
                     fanned, fpga, "EDF-NF",
                     release="sporadic", jitter=jitter, rng=pattern_rng,
                     horizon_factor=horizon_factor,
+                    array_backend=array_backend,
                 )
                 searched &= res.schedulable.reshape(
                     batch.count, sporadic_samples

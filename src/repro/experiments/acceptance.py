@@ -25,6 +25,7 @@ get cheap, knife-edge buckets get the full budget.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -38,6 +39,7 @@ from repro.sched.edf_nf import EdfNf
 from repro.sim.simulator import MigrationMode
 from repro.util.parallel import parallel_map
 from repro.util.rngutil import rng_from_seed, spawn_rngs
+from repro.vector import xp
 from repro.vector.batch import TaskSetBatch, generate_batch
 from repro.vector.dp_vec import dp_accepts
 from repro.vector.gn1_vec import gn1_accepts
@@ -288,6 +290,7 @@ def acceptance_experiment(
     sim_schedulers: Sequence[str] = ("EDF-NF",),
     sim_samples_per_point: Optional[int] = None,
     sim_backend: str = "vector",
+    sim_array_backend: Optional[str] = None,
     sim_mode: MigrationMode = MigrationMode.FREE,
     sim_policy: PlacementPolicy = PlacementPolicy.FIRST_FIT,
     sim_release: str = "periodic",
@@ -328,6 +331,17 @@ def acceptance_experiment(
       ``sim_samples_per_point`` (default: min(samples, 200)) tasksets
       per bucket; ``workers > 1`` parallelizes it over processes.
 
+    ``sim_array_backend`` picks the :mod:`repro.vector.xp` array
+    namespace the batched simulator computes on (``"numpy"``,
+    ``"torch"``, ``"cupy"``, ...); ``None`` follows the process
+    override / ``REPRO_ARRAY_BACKEND`` / numpy precedence.  Host/device
+    transfer is confined to batch boundaries, and the seeded sporadic
+    sampler stays host-side whatever the backend (its draw order is
+    pinned to the scalar reference).  When a *device* backend is active
+    (cupy, torch:cuda) and ``workers > 1``, the engine forces
+    ``parallel_map`` back to serial chunking with a one-line
+    ``RuntimeWarning`` — forked workers must not share a GPU context.
+
     Both backends yield bit-identical verdicts per taskset.  Simulations
     exceeding ``max_events`` are recorded as not schedulable and counted
     in :attr:`AcceptanceCurves.sim_budget_exceeded` rather than aborting
@@ -356,6 +370,18 @@ def acceptance_experiment(
         raise ValueError(f"unknown sampling mode {sampling!r}")
     if sim_backend not in ("vector", "scalar"):
         raise ValueError(f"unknown sim_backend {sim_backend!r}")
+    # Resolve eagerly: a bad/uninstalled backend fails here, not after
+    # the first bucket's taskset generation.
+    array_backend = xp.get_backend(sim_array_backend)
+    if array_backend.is_device and workers > 1:
+        warnings.warn(
+            f"array backend {array_backend.name!r} is device-resident; "
+            f"forcing parallel_map to serial chunking (workers {workers} "
+            f"-> 1): forked workers must not share a GPU context",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        workers = 1
     if not isinstance(sim_mode, MigrationMode):
         raise ValueError(f"sim_mode must be a MigrationMode, got {sim_mode!r}")
     if not isinstance(sim_policy, PlacementPolicy):
@@ -474,6 +500,7 @@ def acceptance_experiment(
                         sub, fpga, sched,
                         mode=sim_mode, placement_policy=sim_policy,
                         horizon_factor=horizon_factor, max_events=max_events,
+                        array_backend=sim_array_backend,
                         **release_kwargs,
                     )
                     counts[f"sim:{sched}"][0] += int(res.schedulable.sum())

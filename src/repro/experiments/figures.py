@@ -95,6 +95,7 @@ def run_figure(
     sim_samples: Optional[int] = 100,
     sim_schedulers: Sequence[str] = ("EDF-NF",),
     sim_backend: str = "vector",
+    sim_array_backend: Optional[str] = None,
     sim_mode: MigrationMode = MigrationMode.FREE,
     sim_policy: PlacementPolicy = PlacementPolicy.FIRST_FIT,
     sim_release: str = "periodic",
@@ -116,6 +117,9 @@ def run_figure(
     ``sim_jitter`` under sporadic release patterns — so any figure-style
     curve can be regenerated for the non-paper workload families too
     (see :func:`~repro.experiments.acceptance.acceptance_experiment`).
+    ``sim_array_backend`` selects the :mod:`repro.vector.xp` array
+    namespace the batched simulator computes on (``None`` = process
+    override, then ``REPRO_ARRAY_BACKEND``, then numpy).
 
     ``ci_target`` switches bucket sizing from flat ``samples`` to
     adaptive: each bucket draws only as many tasksets as its series need
@@ -136,6 +140,7 @@ def run_figure(
         sim_schedulers=sim_schedulers if sim_enabled else (),
         sim_samples_per_point=sim_samples,
         sim_backend=sim_backend,
+        sim_array_backend=sim_array_backend,
         sim_mode=sim_mode,
         sim_policy=sim_policy,
         sim_release=sim_release,

@@ -23,8 +23,9 @@ class Experiment:
 
     experiment_id: str
     description: str
-    #: (samples, seed, workers, sim_backend="vector", ci_target=None,
-    #: sim_mode=..., sim_policy=..., sim_release=..., sim_jitter=...)
+    #: (samples, seed, workers, sim_backend="vector",
+    #: sim_array_backend=None, ci_target=None, sim_mode=...,
+    #: sim_policy=..., sim_release=..., sim_jitter=...)
     #: -> AcceptanceCurves.  Runners that cannot honour a knob (e.g.
     #: ci_target on the offset search, or the sim_* sweeps on ablations
     #: that sweep those axes themselves) accept and ignore it.
@@ -38,6 +39,7 @@ def _figure_runner(figure_id: str):
         seed: int,
         workers: int,
         sim_backend: str = "vector",
+        sim_array_backend: Optional[str] = None,
         ci_target: Optional[float] = None,
         sim_mode: MigrationMode = MigrationMode.FREE,
         sim_policy: PlacementPolicy = PlacementPolicy.FIRST_FIT,
@@ -53,6 +55,7 @@ def _figure_runner(figure_id: str):
             seed=seed,
             sim_samples=sim_samples,
             sim_backend=sim_backend,
+            sim_array_backend=sim_array_backend,
             sim_mode=sim_mode,
             sim_policy=sim_policy,
             sim_release=sim_release,
@@ -87,11 +90,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "ablation-nf-fkf": Experiment(
         "ablation-nf-fkf",
         "Simulated acceptance of EDF-NF vs EDF-FkF",
-        lambda samples, seed, workers, sim_backend="vector", ci_target=None,
-        **_sim_kw:
+        lambda samples, seed, workers, sim_backend="vector",
+        sim_array_backend=None, ci_target=None, **_sim_kw:
             ablations.nf_vs_fkf_ablation(
                 samples=samples, seed=seed, workers=workers,
-                sim_backend=sim_backend, ci_target=ci_target,
+                sim_backend=sim_backend,
+                sim_array_backend=sim_array_backend, ci_target=ci_target,
             ),
         default_samples=60,
     ),
@@ -103,31 +107,33 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "ablation-placement": Experiment(
         "ablation-placement",
         "Free migration vs contiguous placement (fragmentation cost)",
-        lambda samples, seed, workers, sim_backend="vector", ci_target=None,
-        **_sim_kw:
+        lambda samples, seed, workers, sim_backend="vector",
+        sim_array_backend=None, ci_target=None, **_sim_kw:
             ablations.placement_ablation(
-                samples=samples, seed=seed, sim_backend=sim_backend
+                samples=samples, seed=seed, sim_backend=sim_backend,
+                array_backend=sim_array_backend,
             ),
         default_samples=400,
     ),
     "ablation-offsets": Experiment(
         "ablation-offsets",
         "Synchronous-release simulation vs offset-searched upper bound",
-        lambda samples, seed, workers, sim_backend="vector", ci_target=None,
-        **_sim_kw:
+        lambda samples, seed, workers, sim_backend="vector",
+        sim_array_backend=None, ci_target=None, **_sim_kw:
             ablations.offset_ablation(
-                samples=samples, seed=seed, sim_backend=sim_backend
+                samples=samples, seed=seed, sim_backend=sim_backend,
+                array_backend=sim_array_backend,
             ),
         default_samples=200,
     ),
     "ablation-sporadic": Experiment(
         "ablation-sporadic",
         "Periodic-release simulation vs sporadic-searched upper bound",
-        lambda samples, seed, workers, sim_backend="vector", ci_target=None,
-        sim_jitter=0.5, **_sim_kw:
+        lambda samples, seed, workers, sim_backend="vector",
+        sim_array_backend=None, ci_target=None, sim_jitter=0.5, **_sim_kw:
             ablations.sporadic_ablation(
                 samples=samples, seed=seed, sim_backend=sim_backend,
-                jitter=sim_jitter,
+                jitter=sim_jitter, array_backend=sim_array_backend,
             ),
         default_samples=200,
     ),

@@ -5,31 +5,41 @@ A :class:`TaskSetBatch` holds ``B`` tasksets of ``N`` tasks each as four
 cache-friendly one: each bound touches whole columns of parameters).
 Conversion to/from the object model is provided for cross-validation and
 for feeding individual sets to the simulator.
+
+The arrays may belong to any :mod:`repro.vector.xp` backend: generation
+and object-model conversion are host-side (the rngs are numpy
+generators), but every aggregate dispatches on the arrays' own namespace
+(:func:`repro.vector.xp.namespace_of`), so a batch moved onto a device
+backend with :meth:`TaskSetBatch.with_backend` keeps its math on the
+device.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
-
-import numpy as np
+from typing import List, Sequence, Union
 
 from repro.gen.profiles import GenerationProfile
 from repro.gen.random_tasksets import _MIN_FACTOR
 from repro.model.task import Task, TaskSet
+from repro.vector import xp
+from repro.vector.xp import host as hnp
 
 
-def sequential_sum(arr: np.ndarray, axis: int = -1) -> np.ndarray:
+def sequential_sum(arr, axis: int = -1):
     """Left-to-right summation along ``axis``.
 
     ``np.sum`` switches to pairwise summation above 8 elements, which
     re-associates floating-point adds and can flip strict-inequality
     verdicts at knife-edge tasksets relative to the scalar reference
     (which accumulates left-to-right).  The vectorized tests use this so
-    their verdicts are bit-identical to :mod:`repro.core`.
+    their verdicts are bit-identical to :mod:`repro.core`.  The
+    accumulation runs in the array's own namespace (host arrays stay
+    host, device arrays stay on device).
     """
-    arr = np.moveaxis(arr, axis, -1)
-    out = arr[..., 0].copy()
+    ns = xp.namespace_of(arr)
+    arr = ns.moveaxis(arr, axis, -1)
+    out = ns.copy(arr[..., 0])
     for j in range(1, arr.shape[-1]):
         out += arr[..., j]
     return out
@@ -39,10 +49,10 @@ def sequential_sum(arr: np.ndarray, axis: int = -1) -> np.ndarray:
 class TaskSetBatch:
     """``B`` tasksets x ``N`` tasks in struct-of-arrays form."""
 
-    wcet: np.ndarray  # (B, N) float64
-    period: np.ndarray  # (B, N) float64
-    deadline: np.ndarray  # (B, N) float64
-    area: np.ndarray  # (B, N) float64 (integral values)
+    wcet: "hnp.ndarray"  # (B, N) float64
+    period: "hnp.ndarray"  # (B, N) float64
+    deadline: "hnp.ndarray"  # (B, N) float64
+    area: "hnp.ndarray"  # (B, N) float64 (integral values)
 
     def __post_init__(self) -> None:
         shape = self.wcet.shape
@@ -60,12 +70,12 @@ class TaskSetBatch:
     @property
     def count(self) -> int:
         """Number of tasksets ``B``."""
-        return self.wcet.shape[0]
+        return int(self.wcet.shape[0])
 
     @property
     def n_tasks(self) -> int:
         """Tasks per set ``N``."""
-        return self.wcet.shape[1]
+        return int(self.wcet.shape[1])
 
     def __len__(self) -> int:
         return self.count
@@ -73,22 +83,22 @@ class TaskSetBatch:
     # -- aggregates ---------------------------------------------------------------
 
     @property
-    def time_utilization(self) -> np.ndarray:
+    def time_utilization(self):
         """``UT`` per taskset, shape ``(B,)``."""
         return sequential_sum(self.wcet / self.period, axis=1)
 
     @property
-    def system_utilization(self) -> np.ndarray:
+    def system_utilization(self):
         """``US`` per taskset, shape ``(B,)``."""
         return sequential_sum(self.wcet * self.area / self.period, axis=1)
 
     @property
-    def max_area(self) -> np.ndarray:
-        return self.area.max(axis=1)
+    def max_area(self):
+        return xp.namespace_of(self.area).max(self.area, axis=1)
 
     @property
-    def min_area(self) -> np.ndarray:
-        return self.area.min(axis=1)
+    def min_area(self):
+        return xp.namespace_of(self.area).min(self.area, axis=1)
 
     # -- conversions -------------------------------------------------------------
 
@@ -101,10 +111,10 @@ class TaskSetBatch:
         if any(len(ts) != n for ts in tasksets):
             raise ValueError("all tasksets in a batch must have the same size")
         b = len(tasksets)
-        wcet = np.empty((b, n))
-        period = np.empty((b, n))
-        deadline = np.empty((b, n))
-        area = np.empty((b, n))
+        wcet = hnp.empty((b, n))
+        period = hnp.empty((b, n))
+        deadline = hnp.empty((b, n))
+        area = hnp.empty((b, n))
         for bi, ts in enumerate(tasksets):
             for ni, t in enumerate(ts):
                 wcet[bi, ni] = float(t.wcet)
@@ -129,14 +139,42 @@ class TaskSetBatch:
     def to_tasksets(self) -> List[TaskSet]:
         return [self.taskset(i) for i in range(self.count)]
 
-    def scaled_to_system_utilization(self, targets: np.ndarray) -> "TaskSetBatch":
+    def with_backend(
+        self, backend: Union[None, str, "xp.ArrayBackend"] = None
+    ) -> "TaskSetBatch":
+        """The same batch with arrays on the given array backend.
+
+        ``backend`` follows the :func:`repro.vector.xp.get_backend`
+        precedence (``None`` means the active selection).  This is the
+        one host->device transfer point for batch data; dtypes are
+        preserved.
+        """
+        ns = xp.get_backend(backend)
+        return TaskSetBatch(
+            ns.asarray(xp.asnumpy(self.wcet)),
+            ns.asarray(xp.asnumpy(self.period)),
+            ns.asarray(xp.asnumpy(self.deadline)),
+            ns.asarray(xp.asnumpy(self.area)),
+        )
+
+    def to_host(self) -> "TaskSetBatch":
+        """The same batch with host (numpy) arrays."""
+        return TaskSetBatch(
+            xp.asnumpy(self.wcet),
+            xp.asnumpy(self.period),
+            xp.asnumpy(self.deadline),
+            xp.asnumpy(self.area),
+        )
+
+    def scaled_to_system_utilization(self, targets) -> "TaskSetBatch":
         """Rescale every set's WCETs to hit per-set ``US`` targets.
 
         Vectorized analogue of
         :meth:`repro.model.task.TaskSet.scaled_to_system_utilization`.
         """
-        targets = np.asarray(targets, dtype=float)
-        if targets.shape != (self.count,):
+        ns = xp.namespace_of(self.wcet)
+        targets = ns.asarray(targets, dtype=ns.float64)
+        if tuple(targets.shape) != (self.count,):
             raise ValueError(f"targets must have shape ({self.count},)")
         factor = targets / self.system_utilization
         return TaskSetBatch(
@@ -144,37 +182,40 @@ class TaskSetBatch:
         )
 
     @property
-    def feasible_mask(self) -> np.ndarray:
+    def feasible_mask(self):
         """Per-set mask: every task has ``C <= min(D, T)`` (``(B,)`` bool)."""
         ok = (self.wcet <= self.deadline) & (self.wcet <= self.period)
-        return ok.all(axis=1)
+        return xp.namespace_of(self.wcet).all(ok, axis=1)
 
 
 def generate_batch(
-    profile: GenerationProfile, count: int, rng: np.random.Generator
+    profile: GenerationProfile, count: int, rng: "hnp.random.Generator"
 ) -> TaskSetBatch:
     """Draw ``count`` tasksets from ``profile`` directly into arrays.
 
     Identical distributions to
     :func:`repro.gen.random_tasksets.generate_taskset`, but one vectorized
-    draw instead of ``count * N`` Python-object constructions.
+    draw instead of ``count * N`` Python-object constructions.  Always
+    host-side (the generator is a numpy one and the draw order is pinned
+    to the scalar reference); move the result with
+    :meth:`TaskSetBatch.with_backend` when a device batch is wanted.
     """
     if count < 1:
         raise ValueError("count must be >= 1")
     n = profile.n_tasks
     if profile.integer_periods:
-        lo = int(np.ceil(profile.period_min))
-        hi = int(np.floor(profile.period_max))
+        lo = int(hnp.ceil(profile.period_min))
+        hi = int(hnp.floor(profile.period_max))
         if lo > hi:
             raise ValueError("no integers in period range")
-        period = rng.integers(lo, hi + 1, size=(count, n)).astype(float)
+        period = rng.integers(lo, hi + 1, size=(count, n)).astype(hnp.float64)
     else:
         period = rng.uniform(profile.period_min, profile.period_max, size=(count, n))
-    factor = np.maximum(
+    factor = hnp.maximum(
         rng.uniform(profile.util_min, profile.util_max, size=(count, n)), _MIN_FACTOR
     )
     area = rng.integers(profile.area_min, profile.area_max + 1, size=(count, n)).astype(
-        float
+        hnp.float64
     )
     wcet = period * factor
     return TaskSetBatch(wcet=wcet, period=period, deadline=period.copy(), area=area)

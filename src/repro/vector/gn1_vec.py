@@ -5,23 +5,29 @@ indexing the analyzed task ``k`` and axis 2 the interfering task ``i`` —
 about 800 kB per array at B=1000, N=10, well inside cache-friendly
 territory; larger batches should be chunked by the caller (the acceptance
 engine does).
+
+Backend-neutral: arithmetic runs on the namespace resolved through
+:mod:`repro.vector.xp` (inputs pinned to float64 at the boundary),
+verdicts return as host numpy bools.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Optional
 
 from repro.util.mathutil import TIME_EPS
+from repro.vector import xp
 from repro.vector.batch import TaskSetBatch, sequential_sum
-from repro.vector.dp_vec import necessary_mask
+from repro.vector.dp_vec import _pinned, necessary_mask
+from repro.vector.xp import host as hnp
 
 
-def _robust_floor(q: np.ndarray) -> np.ndarray:
+def _robust_floor(q, ns):
     """Vectorized :func:`repro.util.mathutil.float_floor_div` semantics:
     values within TIME_EPS *below* an integer floor to that integer."""
-    fq = np.floor(q)
+    fq = ns.floor(q)
     bump = (fq + 1.0 - q) <= TIME_EPS
-    return np.where(bump, fq + 1.0, fq)
+    return ns.where(bump, fq + 1.0, fq)
 
 
 def gn1_accepts(
@@ -30,18 +36,17 @@ def gn1_accepts(
     *,
     plus_one_bound: bool = True,
     window_denominator: bool = False,
-) -> np.ndarray:
-    """Per-set GN1 verdicts, shape ``(B,)`` bool.
+    backend: Optional[str] = None,
+) -> "hnp.ndarray":
+    """Per-set GN1 verdicts, shape ``(B,)`` bool (host numpy).
 
     Flags mirror :class:`repro.core.gn1.Gn1Variant`: the default
     (``plus_one_bound=True, window_denominator=False``) is the PAPER
     variant; ``plus_one_bound=False`` is THEOREM_LITERAL;
     ``window_denominator=True`` is BCL_WINDOW.
     """
-    c = batch.wcet  # (B, N)
-    t = batch.period
-    d = batch.deadline
-    a = batch.area
+    ns = xp.get_backend(backend)
+    c, t, d, a = _pinned(batch, ns)
 
     d_k = d[:, :, None]  # window of task k     (B, N, 1)
     c_i = c[:, None, :]  # interferer params    (B, 1, N)
@@ -49,21 +54,21 @@ def gn1_accepts(
     d_i = d[:, None, :]
     a_i = a[:, None, :]
 
-    n_i = np.maximum(_robust_floor((d_k - d_i) / t_i) + 1.0, 0.0)  # (B, N, N)
-    carry = np.minimum(c_i, np.maximum(d_k - n_i * t_i, 0.0))
+    n_i = ns.maximum(_robust_floor((d_k - d_i) / t_i, ns) + 1.0, 0.0)  # (B, N, N)
+    carry = ns.minimum(c_i, ns.maximum(d_k - n_i * t_i, 0.0))
     workload = n_i * c_i + carry
     beta = workload / (d_k if window_denominator else d_i)
 
     slack_rate = 1.0 - c / d  # (B, N) — 1 - C_k/D_k
-    contrib = a_i * np.minimum(beta, slack_rate[:, :, None])  # (B, N, N)
+    contrib = a_i * ns.minimum(beta, slack_rate[:, :, None])  # (B, N, N)
     # Exclude i == k by zeroing the diagonal BEFORE summing: subtracting
     # it afterwards would break bit-exactness with the scalar reference at
     # boundary cases ((a+b)-a != b in floats).
-    idx = np.arange(contrib.shape[1])
+    idx = ns.arange(contrib.shape[1])
     contrib[:, idx, idx] = 0.0
     lhs = sequential_sum(contrib, axis=2)
 
     bound = capacity - a + (1.0 if plus_one_bound else 0.0)  # (B, N)
     rhs = bound * slack_rate
-    ok = (lhs < rhs).all(axis=1)
-    return ok & necessary_mask(batch, capacity)
+    ok = ns.all(lhs < rhs, axis=1)
+    return ns.asnumpy(ok) & necessary_mask(batch, capacity, backend=backend)

@@ -63,6 +63,14 @@ event (rows are not synchronized to a global clock).  Decided rows are
 compacted out, so the per-step cost tracks the number of still-undecided
 sets.
 
+Array backends: the state arrays live on the namespace resolved through
+:mod:`repro.vector.xp` (``array_backend`` kwarg > process override >
+``REPRO_ARRAY_BACKEND`` env var > numpy).  Validation, samplers and the
+returned :class:`SimBatchResult` are host-side; data crosses the
+host/device boundary exactly once per batch in each direction.  Inputs
+are pinned to float64 at that boundary (float32 state would silently
+change knife-edge verdicts on every backend).
+
 Bit-exactness discipline: the float operations (release accumulation,
 ``now + remaining`` completion times, ``remaining - dt`` advances, area
 prefix sums) are performed in the same order and with the same operands
@@ -72,12 +80,15 @@ arithmetic on the shared interval representation
 ``simulate(batch.taskset(i), offsets=...)`` /
 ``simulate_release_schedule(...)`` — the same contract
 :func:`repro.vector.batch.sequential_sum` gives the analytical tests.
-The EDF tie-break replicates the scalar queue exactly, including the
-*lexicographic* task-name ordering of ``batch.taskset`` names
-(``tau10`` sorts before ``tau2``) — and, in sporadic mode, the
-pseudo-task names ``tau{i}@{j}`` that the scalar
-:func:`repro.sim.sporadic.simulate_release_schedule` encodes schedules
-with (``tau10@...`` sorts before ``tau1@...`` because ``'0' < '@'``).
+(On the numpy and torch-CPU backends this holds bit-for-bit; the device
+backends keep the same operand order per element but may re-associate
+reductions, so their contract is verdict-level.)  The EDF tie-break
+replicates the scalar queue exactly, including the *lexicographic*
+task-name ordering of ``batch.taskset`` names (``tau10`` sorts before
+``tau2``) — and, in sporadic mode, the pseudo-task names ``tau{i}@{j}``
+that the scalar :func:`repro.sim.sporadic.simulate_release_schedule`
+encodes schedules with (``tau10@...`` sorts before ``tau1@...`` because
+``'0' < '@'``).
 """
 
 from __future__ import annotations
@@ -85,16 +96,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
-import numpy as np
-
 from repro.fpga.device import Fpga
-from repro.fpga.intervals import spans_to_words, word_count
+from repro.fpga.intervals import spans_to_words
 from repro.fpga.placement import PlacementPolicy
 from repro.sched.base import Scheduler
 from repro.sim.simulator import MigrationMode
 from repro.util.mathutil import TIME_EPS
+from repro.vector import xp
 from repro.vector.batch import TaskSetBatch
 from repro.vector.placement_vec import choose_batch, clear_spans, span_free
+from repro.vector.xp import host as hnp
 
 #: scheduler name -> skip_blocked (EDF-NF skips a job that does not fit,
 #: EDF-FkF stops at the first one — see repro.sched.base.Scheduler).
@@ -110,16 +121,18 @@ class SimBatchResult:
     of budget are additionally flagged in ``budget_exceeded`` (the
     scalar simulator raises ``SimulationError`` there — the batch runner
     records the row as not-schedulable-within-budget and keeps going).
-    ``mode``/``policy`` record the migration model the batch ran under
-    (``policy`` is ``None`` in FREE mode, where placement is moot);
-    ``release`` records the release pattern (``"periodic"`` covers both
-    synchronous and offset runs, ``"sporadic"`` the jittered schedules).
+    All fields are host numpy arrays whichever array backend ran the
+    simulation.  ``mode``/``policy`` record the migration model the
+    batch ran under (``policy`` is ``None`` in FREE mode, where
+    placement is moot); ``release`` records the release pattern
+    (``"periodic"`` covers both synchronous and offset runs,
+    ``"sporadic"`` the jittered schedules).
     """
 
-    schedulable: np.ndarray  # (B,) bool
-    budget_exceeded: np.ndarray  # (B,) bool
-    events: np.ndarray  # (B,) int64 — event-loop iterations per row
-    horizon: np.ndarray  # (B,) float64
+    schedulable: "hnp.ndarray"  # (B,) bool
+    budget_exceeded: "hnp.ndarray"  # (B,) bool
+    events: "hnp.ndarray"  # (B,) int64 — event-loop iterations per row
+    horizon: "hnp.ndarray"  # (B,) float64
     mode: MigrationMode = MigrationMode.FREE
     policy: Optional[PlacementPolicy] = None
     release: str = "periodic"
@@ -155,7 +168,7 @@ def _resolve_skip_blocked(scheduler: Union[str, Scheduler]) -> bool:
     raise TypeError(f"scheduler must be a name or Scheduler, got {scheduler!r}")
 
 
-def _name_ranks(n_tasks: int, sporadic: bool = False) -> np.ndarray:
+def _name_ranks(n_tasks: int, sporadic: bool = False) -> "hnp.ndarray":
     """Rank of each task index under the scalar tie-break.
 
     ``batch.taskset`` names tasks ``tau1 .. tauN`` and the scalar EDF
@@ -173,7 +186,7 @@ def _name_ranks(n_tasks: int, sporadic: bool = False) -> np.ndarray:
     """
     suffix = "@" if sporadic else ""
     order = sorted(range(n_tasks), key=lambda i: f"tau{i + 1}{suffix}")
-    ranks = np.empty(n_tasks, dtype=np.int64)
+    ranks = hnp.empty(n_tasks, dtype=hnp.int64)
     for pos, i in enumerate(order):
         ranks[i] = pos
     return ranks
@@ -182,8 +195,8 @@ def _name_ranks(n_tasks: int, sporadic: bool = False) -> np.ndarray:
 def default_horizon_batch(
     batch: TaskSetBatch,
     factor: int = 20,
-    offsets: Optional[np.ndarray] = None,
-) -> np.ndarray:
+    offsets=None,
+):
     """Per-row ``max D + factor * max T [+ max offset]`` — the scalar
     :func:`repro.sim.simulator.default_horizon`, vectorized (identical
     float operations, so the horizons match the scalar path bit-exactly).
@@ -192,64 +205,73 @@ def default_horizon_batch(
     a task first released at ``O_i`` sees ``floor((H - O_i) / T_i)`` jobs
     before ``H``, so an unextended window would simulate *fewer* jobs
     than the synchronous run and silently weaken the upper bound the
-    offset search claims to refine.
+    offset search claims to refine.  Runs in the batch arrays' own
+    namespace (host batches yield host horizons).
     """
     if factor < 1:
         raise ValueError("factor must be >= 1")
-    base = batch.deadline.max(axis=1) + factor * batch.period.max(axis=1)
+    ns = xp.namespace_of(batch.deadline)
+    deadline = ns.asarray(batch.deadline, dtype=ns.float64)  # pin: float32
+    period = ns.asarray(batch.period, dtype=ns.float64)  # inputs upcast exactly
+    base = ns.max(deadline, axis=1) + factor * ns.max(period, axis=1)
     if offsets is None:
         return base
-    off = np.broadcast_to(
-        np.asarray(offsets, dtype=float), (batch.count, batch.n_tasks)
+    off = ns.broadcast_to(
+        ns.asarray(offsets, dtype=ns.float64), (batch.count, batch.n_tasks)
     )
-    return base + off.max(axis=1)
+    return base + ns.max(off, axis=1)
 
 
-def sample_offsets_batch(
-    batch: TaskSetBatch, rng: np.random.Generator
-) -> np.ndarray:
+def sample_offsets_batch(batch: TaskSetBatch, rng) -> "hnp.ndarray":
     """One random offset assignment per row: uniform in ``[0, T_i)``.
 
     Draw-for-draw identical to calling
     :func:`repro.sim.offsets.sample_offsets` on each ``batch.taskset(i)``
     in row order with the same generator (one C-order ``uniform`` fill
     consumes the stream exactly like the scalar per-task draws).
+    Deliberately host-side: the numpy generator pins the draw order to
+    the scalar reference whichever array backend simulates the result.
     """
-    return rng.uniform(0.0, batch.period)
+    return rng.uniform(0.0, xp.asnumpy(batch.period))
 
 
 def sample_release_times_batch(
     batch: TaskSetBatch,
-    horizon: Union[float, np.ndarray],
-    rng: np.random.Generator,
+    horizon,
+    rng,
     max_jitter_factor: float = 0.5,
-) -> np.ndarray:
+) -> "hnp.ndarray":
     """One legal sporadic release schedule per row, as a padded array.
 
     Returns ``(B, N, K+1)`` release times — ascending, first release 0,
     every gap ``T_i * (1 + U(0, max_jitter_factor))``, all ``< horizon``
     — right-padded with ``+inf`` (at least one sentinel column, so a
-    pointer one past a task's last release always reads ``inf``).
+    pointer one past a task's last release always reads ``inf``); the
+    padding is pinned float64 so no backend re-derives the dtype from
+    promotion rules.
 
     The draw discipline is row-major, task-order, one gap at a time
     *including the final overshooting draw*, so the sampled values are
     bit-identical to calling
     :func:`repro.sim.sporadic.sample_release_schedule` on each
     ``batch.taskset(i)`` in row order with the same shared generator.
-    (Sampling is a Python loop for exactly that scalar parity — only the
-    simulation itself is vectorized.)
+    (Sampling is a Python loop on the host for exactly that scalar
+    parity — only the simulation itself is backend-vectorized.)
     """
     if max_jitter_factor < 0:
         raise ValueError("max_jitter_factor must be >= 0")
-    hz = np.broadcast_to(np.asarray(horizon, dtype=float), (batch.count,))
-    if np.any(hz <= 0):
+    period_h = xp.asnumpy(batch.period)
+    hz = hnp.broadcast_to(
+        hnp.asarray(xp.asnumpy(horizon), dtype=hnp.float64), (batch.count,)
+    )
+    if hnp.any(hz <= 0):
         raise ValueError("horizon must be > 0")
     rows: list = []
     longest = 0
     for b in range(batch.count):
         row = []
         for n in range(batch.n_tasks):
-            period = float(batch.period[b, n])
+            period = float(period_h[b, n])
             releases = [0.0]
             while True:
                 gap = period * (1.0 + float(rng.uniform(0.0, max_jitter_factor)))
@@ -260,7 +282,9 @@ def sample_release_times_batch(
             longest = max(longest, len(releases))
             row.append(releases)
         rows.append(row)
-    out = np.full((batch.count, batch.n_tasks, longest + 1), np.inf)
+    out = hnp.full(
+        (batch.count, batch.n_tasks, longest + 1), hnp.inf, dtype=hnp.float64
+    )
     for b, row in enumerate(rows):
         for n, releases in enumerate(row):
             out[b, n, : len(releases)] = releases
@@ -268,16 +292,17 @@ def sample_release_times_batch(
 
 
 def _select_placement(
-    order: np.ndarray,
-    area_m: np.ndarray,
-    area_i: np.ndarray,
-    pos: np.ndarray,
-    pin: Optional[np.ndarray],
-    device_words: np.ndarray,
+    ns,
+    order,
+    area_m,
+    area_i,
+    pos,
+    pin,
+    device_words,
     device_width: int,
     policy: PlacementPolicy,
     skip_blocked: bool,
-) -> np.ndarray:
+):
     """One placement-aware scheduling decision for every live row.
 
     Replicates the scalar ``select_running`` exactly: walk the jobs in
@@ -288,56 +313,58 @@ def _select_placement(
     updated in place; returns the ``(M, N)`` running mask.
     """
     M, N = order.shape
-    n_words = device_words.shape[0]
-    words = np.tile(device_words, (M, 1))
-    running = np.zeros((M, N), dtype=bool)
-    stopped = np.zeros(M, dtype=bool) if not skip_blocked else None
+    n_words = int(device_words.shape[0])
+    words = ns.tile(device_words, (M, 1))
+    running = ns.zeros((M, N), dtype=ns.bool_)
+    stopped = ns.zeros((M,), dtype=ns.bool_) if not skip_blocked else None
     # Per row, active jobs sort ahead of inactive slots, so priority
     # position j holds an active job iff the row has > j active jobs.
     # Each step compresses to the rows that still have a candidate —
     # late priority positions involve few rows, and all per-step work
     # scales with that count.
-    n_act = np.isfinite(area_m).sum(axis=1)
-    for j in range(int(n_act.max(initial=0))):
+    n_act = ns.sum(ns.isfinite(area_m), axis=1)
+    for j in range(int(ns.max(n_act)) if M else 0):
         act = n_act > j
         if stopped is not None:
-            act &= ~stopped
-        ar = np.nonzero(act)[0]
-        if ar.size == 0:
+            act = act & ~stopped
+        ar = ns.nonzero(act)[0]
+        if ar.shape[0] == 0:
             break
         slot = order[ar, j]
         w = area_i[ar, slot]
         wsub = words[ar]
-        placed_at = np.full(ar.size, -1, dtype=np.int64)
+        placed_at = ns.full((int(ar.shape[0]),), -1, dtype=ns.int64)
         if pin is not None:
             p = pin[ar, slot]
             # A pinned job may only resume on its recorded columns — no
             # fallback; rows without a pin fall through to prev/choose.
-            ok = span_free(wsub, p, w, device_width, n_words)
+            ok = span_free(wsub, p, w, device_width, n_words, ns=ns)
             placed_at[ok] = p[ok]
             rest = p < 0
-            prev = np.where(rest, pos[ar, slot], np.int64(-1))
+            prev = ns.where(rest, pos[ar, slot], -1)
         else:
             rest = None
             prev = pos[ar, slot]
-        okp = span_free(wsub, prev, w, device_width, n_words)
+        okp = span_free(wsub, prev, w, device_width, n_words, ns=ns)
         placed_at[okp] = prev[okp]
         need = placed_at < 0
         if rest is not None:
-            need &= rest
-        nr = np.nonzero(need)[0]
-        if nr.size:
-            placed_at[nr] = choose_batch(wsub[nr], w[nr], device_width, policy)
+            need = need & rest
+        nr = ns.nonzero(need)[0]
+        if nr.shape[0]:
+            placed_at[nr] = choose_batch(
+                wsub[nr], w[nr], device_width, policy, ns=ns
+            )
         placed = placed_at >= 0
-        pr = np.nonzero(placed)[0]
-        if pr.size:
+        pr = ns.nonzero(placed)[0]
+        if pr.shape[0]:
             rp, sp, st, wp = ar[pr], slot[pr], placed_at[pr], w[pr]
-            clear_spans(words, rp, st, wp, n_words)
+            clear_spans(words, rp, st, wp, n_words, ns=ns)
             running[rp, sp] = True
             pos[rp, sp] = st
             if pin is not None:
-                fresh = np.nonzero(p[pr] < 0)[0]
-                if fresh.size:
+                fresh = ns.nonzero(p[pr] < 0)[0]
+                if fresh.shape[0]:
                     pin[rp[fresh], sp[fresh]] = st[fresh]
         if stopped is not None:
             stopped[ar[~placed]] = True
@@ -351,15 +378,16 @@ def simulate_batch(
     *,
     mode: MigrationMode = MigrationMode.FREE,
     placement_policy: PlacementPolicy = PlacementPolicy.FIRST_FIT,
-    horizon: Union[None, float, np.ndarray] = None,
+    horizon=None,
     horizon_factor: int = 20,
-    offsets: Union[None, float, np.ndarray] = None,
+    offsets=None,
     release: str = "periodic",
     jitter: float = 0.5,
-    rng: Optional[np.random.Generator] = None,
-    release_times: Optional[np.ndarray] = None,
+    rng=None,
+    release_times=None,
     max_events: int = 1_000_000,
     eps: float = TIME_EPS,
+    array_backend: Optional[str] = None,
 ) -> SimBatchResult:
     """Simulate every row of ``batch`` on one device geometry.
 
@@ -376,6 +404,13 @@ def simulate_batch(
     each row's window by its largest offset (the horizon-extension rule:
     otherwise offset tasks would see fewer simulated jobs than the
     synchronous run).
+
+    ``array_backend`` selects the :mod:`repro.vector.xp` namespace the
+    state arrays live on (``None`` follows the process override /
+    ``REPRO_ARRAY_BACKEND`` / numpy precedence).  Inputs are validated
+    on the host, moved once onto the backend pinned to float64, and the
+    verdicts come back as host numpy arrays — one transfer per batch in
+    each direction.
 
     Release patterns:
 
@@ -399,6 +434,7 @@ def simulate_batch(
     schedulable and flagged in ``budget_exceeded`` instead of aborting
     the batch.  An empty batch (``B == 0``) yields an empty result.
     """
+    ns = xp.get_backend(array_backend)
     skip_blocked = _resolve_skip_blocked(scheduler)
     if release not in ("periodic", "sporadic"):
         raise ValueError(f"unknown release pattern {release!r}")
@@ -419,7 +455,17 @@ def simulate_batch(
     if jitter < 0:
         raise ValueError("jitter must be >= 0")
     use_placement = mode is not MigrationMode.FREE
-    B, N = batch.count, batch.n_tasks
+    hb = batch.to_host()
+    # Pin the whole host view to float64 up front (exact upcast): the
+    # horizon derivation, validation comparisons and sporadic sampler
+    # must not run in a float32 input's precision on any backend.
+    host_batch = TaskSetBatch(
+        hnp.asarray(hb.wcet, dtype=hnp.float64),
+        hnp.asarray(hb.period, dtype=hnp.float64),
+        hnp.asarray(hb.deadline, dtype=hnp.float64),
+        hnp.asarray(hb.area, dtype=hnp.float64),
+    )
+    B, N = host_batch.count, host_batch.n_tasks
     if N == 0:
         raise ValueError("simulate_batch requires at least one task per row")
     if isinstance(capacity, Fpga):
@@ -434,43 +480,49 @@ def simulate_batch(
         device = Fpga(width=int(capacity))
     else:
         device = None
-    if np.any(batch.period <= eps):
+    if hnp.any(host_batch.period <= eps):
         raise ValueError("simulate_batch requires periods > eps")
-    if np.any(batch.deadline > batch.period):
+    if hnp.any(host_batch.deadline > host_batch.period):
         raise ValueError(
             "simulate_batch requires constrained deadlines (D <= T); "
             "use the scalar simulator for unconstrained sets"
         )
-    if np.any(batch.wcet <= eps) or np.any(batch.area <= 0):
+    if hnp.any(host_batch.wcet <= eps) or hnp.any(host_batch.area <= 0):
         # wcet <= eps would let a zero-work job linger past its deadline
         # alongside a successor of the same task — a two-jobs-per-task
         # state the one-slot-per-task layout cannot represent.
         raise ValueError("simulate_batch requires wcet > eps and areas > 0")
-    if use_placement and np.any(batch.area != np.floor(batch.area)):
+    if use_placement and hnp.any(host_batch.area != hnp.floor(host_batch.area)):
         # Mirrors the scalar simulator's all_integral_area requirement.
         raise ValueError("placement-aware modes require integral task areas")
 
     if offsets is None:
         off = None
     else:
-        off = np.broadcast_to(np.asarray(offsets, dtype=float), (B, N)).copy()
-        if not np.all(np.isfinite(off)) or np.any(off < 0):
+        off = hnp.broadcast_to(
+            hnp.asarray(xp.asnumpy(offsets), dtype=hnp.float64), (B, N)
+        ).copy()
+        if not hnp.all(hnp.isfinite(off)) or hnp.any(off < 0):
             raise ValueError("offsets must be finite and >= 0")
 
     if horizon is None:
-        hz = default_horizon_batch(batch, factor=horizon_factor, offsets=off)
+        hz = default_horizon_batch(host_batch, factor=horizon_factor, offsets=off)
     else:
-        hz = np.broadcast_to(np.asarray(horizon, dtype=float), (B,)).copy()
-        if np.any(hz <= 0):
+        hz = hnp.broadcast_to(
+            hnp.asarray(xp.asnumpy(horizon), dtype=hnp.float64), (B,)
+        ).copy()
+        if hnp.any(hz <= 0):
             raise ValueError("horizon must be > 0")
     if max_events < 1:
         raise ValueError("max_events must be >= 1")
 
     if sporadic:
         if release_times is None:
-            release_times = sample_release_times_batch(batch, hz, rng, jitter)
+            release_times = sample_release_times_batch(host_batch, hz, rng, jitter)
         else:
-            release_times = np.asarray(release_times, dtype=float)
+            release_times = hnp.asarray(
+                xp.asnumpy(release_times), dtype=hnp.float64
+            )
             if (
                 release_times.ndim != 3
                 or release_times.shape[:2] != (B, N)
@@ -480,20 +532,20 @@ def simulate_batch(
                     f"release_times must have shape (B, N, K), got "
                     f"{release_times.shape}"
                 )
-            if np.any(release_times < 0) or np.any(np.isnan(release_times)):
+            if hnp.any(release_times < 0) or hnp.any(hnp.isnan(release_times)):
                 raise ValueError("release times must be >= 0")
             # Element-wise comparisons (not diff): inf padding minus inf
             # padding would warn, `inf < inf` is just False.
-            if np.any(release_times[:, :, 1:] < release_times[:, :, :-1]):
+            if hnp.any(release_times[:, :, 1:] < release_times[:, :, :-1]):
                 raise ValueError("release times must be ascending per task")
             # One-slot-per-task layout: job k+1 may only release once job
             # k's deadline has passed (gap >= D), else the replay would
             # silently clobber a live job that the scalar
             # simulate_release_schedule still tracks.  The internal
             # sampler satisfies this by construction (gaps >= T >= D).
-            if np.any(
+            if hnp.any(
                 release_times[:, :, 1:]
-                < release_times[:, :, :-1] + batch.deadline[:, :, None]
+                < release_times[:, :, :-1] + host_batch.deadline[:, :, None]
             ):
                 raise ValueError(
                     "release times must be separated by at least each "
@@ -502,29 +554,31 @@ def simulate_batch(
             # Releases at/after the horizon never fire (the scalar loop's
             # strict `release < horizon` filter); one trailing inf column
             # keeps the advanced pointer a valid index.
-            release_times = np.concatenate(
+            release_times = hnp.concatenate(
                 [
-                    np.where(
-                        release_times < hz[:, None, None], release_times, np.inf
+                    hnp.where(
+                        release_times < hz[:, None, None],
+                        release_times,
+                        hnp.inf,
                     ),
-                    np.full((B, N, 1), np.inf),
+                    hnp.full((B, N, 1), hnp.inf, dtype=hnp.float64),
                 ],
                 axis=2,
             )
 
     result_policy = placement_policy if use_placement else None
 
-    # -- final per-row outcome (scattered into as rows decide) ----------------
-    out_ok = np.ones(B, dtype=bool)
-    out_exceeded = np.zeros(B, dtype=bool)
-    out_events = np.zeros(B, dtype=np.int64)
+    # -- final per-row outcome (host; scattered into as rows decide) ----------
+    out_ok = hnp.ones(B, dtype=bool)
+    out_exceeded = hnp.zeros(B, dtype=bool)
+    out_events = hnp.zeros(B, dtype=hnp.int64)
 
     if B == 0:
         return SimBatchResult(
             schedulable=out_ok,
             budget_exceeded=out_exceeded,
             events=out_events,
-            horizon=np.zeros(0, dtype=float),
+            horizon=hnp.zeros(0, dtype=hnp.float64),
             mode=mode,
             policy=result_policy,
             release=release,
@@ -536,56 +590,74 @@ def simulate_batch(
     # *stable* 2-key lexsort (release, deadline) reproduces the scalar
     # queue's full (deadline, release, name) tie-break for free.  The
     # sporadic rank follows the scalar pseudo-task names instead.
-    perm = np.argsort(_name_ranks(N, sporadic=sporadic), kind="stable")
-    idx = np.arange(B)
-    wcet = np.array(batch.wcet[:, perm], dtype=float)
-    period = np.array(batch.period[:, perm], dtype=float)
-    deadline = np.array(batch.deadline[:, perm], dtype=float)
-    area = np.array(batch.area[:, perm], dtype=float)
+    # Everything below this point lives on the selected array backend
+    # (float64-pinned); `idx` and the out_* arrays stay host-side so the
+    # per-decision scatters never touch the device.
+    perm = hnp.argsort(_name_ranks(N, sporadic=sporadic), kind="stable")
+    idx = hnp.arange(B)
 
-    INF = np.inf
+    def dev_f64(a: "hnp.ndarray"):
+        return ns.asarray(hnp.asarray(a[:, perm], dtype=hnp.float64))
+
+    wcet = dev_f64(host_batch.wcet)
+    period = dev_f64(host_batch.period)
+    deadline = dev_f64(host_batch.deadline)
+    area = dev_f64(host_batch.area)
+    hz = ns.asarray(hz)
+
+    INF = float("inf")
     # Inactivity is encoded as +inf: an inactive slot has abs_dl == inf
     # (sorts behind every active job, never a deadline candidate) and
     # area_m == inf (never fits, never accumulates).  All slots start
     # inactive; the pre-loop release pass below (the scalar
     # release_due(0)) activates whatever is due at t=0 — everything
     # under synchronous release, nothing with a positive offset.
-    remaining = wcet.copy()
-    rel = np.zeros((B, N))
-    abs_dl = np.full((B, N), INF)
-    area_m = np.full((B, N), INF)
+    remaining = ns.copy(wcet)
+    rel = ns.zeros((B, N), dtype=ns.float64)
+    abs_dl = ns.full((B, N), INF, dtype=ns.float64)
+    area_m = ns.full((B, N), INF, dtype=ns.float64)
     # next_rel slots are +inf once the next release would land at/after
     # the horizon (the scalar loop just keeps filtering them out).
     if sporadic:
-        release_times = release_times[:, perm, :]
-        rel_ptr = np.zeros((B, N), dtype=np.int64)
-        next_rel = release_times[:, :, 0].copy()
+        release_times = ns.asarray(release_times[:, perm, :])
+        rel_ptr = ns.zeros((B, N), dtype=ns.int64)
+        next_rel = ns.copy(release_times[:, :, 0])
         next_rel[next_rel >= hz[:, None]] = INF
     else:
         rel_ptr = None
-        first = np.zeros((B, N)) if off is None else off[:, perm]
-        next_rel = np.where(first < hz[:, None], first, INF)
-    now = np.zeros(B)
+        first = (
+            ns.zeros((B, N), dtype=ns.float64)
+            if off is None
+            else ns.asarray(off[:, perm])
+        )
+        next_rel = ns.where(first < hz[:, None], first, INF)
+    now = ns.zeros((B,), dtype=ns.float64)
     # Every live row steps one event per loop iteration, so a single
     # scalar counter tracks each row's event count.
     iteration = 0
 
     # -- placement-aware state (per task slot; one live job per task) ---------
     if use_placement:
-        device_words = spans_to_words(device.free_spans(), device.width)
-        area_i = area.astype(np.int64)
-        pos = np.full((B, N), -1, dtype=np.int64)
-        pin = np.full((B, N), -1, dtype=np.int64) if mode is MigrationMode.PINNED else None
+        device_words = ns.bitmap_from_host(
+            spans_to_words(device.free_spans(), device.width)
+        )
+        area_i = ns.astype(area, ns.int64)
+        pos = ns.full((B, N), -1, dtype=ns.int64)
+        pin = (
+            ns.full((B, N), -1, dtype=ns.int64)
+            if mode is MigrationMode.PINNED
+            else None
+        )
     else:
-        pos = pin = None
+        area_i = pos = pin = None
 
-    rows = np.arange(B)[:, None]
+    rows = ns.arange(B)[:, None]
 
-    def compact(keep: np.ndarray) -> None:
+    def compact(keep, keep_host: "hnp.ndarray") -> None:
         nonlocal idx, wcet, period, deadline, area, hz, rows
         nonlocal remaining, rel, abs_dl, area_m, next_rel, now, area_i, pos, pin
         nonlocal release_times, rel_ptr
-        idx = idx[keep]
+        idx = idx[keep_host]
         wcet, period, deadline, area = (
             wcet[keep], period[keep], deadline[keep], area[keep],
         )
@@ -601,7 +673,7 @@ def simulate_batch(
             area_i, pos = area_i[keep], pos[keep]
             if pin is not None:
                 pin = pin[keep]
-        rows = rows[: idx.size]
+        rows = rows[: idx.shape[0]]
 
     def release_due() -> None:
         """Activate every job due at the rows' current clocks — the
@@ -609,27 +681,27 @@ def simulate_batch(
         while-loop a single pass)."""
         nonlocal rel, remaining, abs_dl, area_m, next_rel, rel_ptr
         due = next_rel <= now[:, None] + eps
-        if not due.any():
+        if not ns.any(due):
             return
-        rel = np.where(due, next_rel, rel)
-        remaining = np.where(due, wcet, remaining)
-        abs_dl = np.where(due, next_rel + deadline, abs_dl)
-        area_m = np.where(due, area, area_m)
+        rel = ns.where(due, next_rel, rel)
+        remaining = ns.where(due, wcet, remaining)
+        abs_dl = ns.where(due, next_rel + deadline, abs_dl)
+        area_m = ns.where(due, area, area_m)
         if sporadic:
             rel_ptr = rel_ptr + due
-            nxt = np.take_along_axis(
+            nxt = ns.take_along_axis(
                 release_times, rel_ptr[:, :, None], axis=2
             )[:, :, 0]
-            next_rel = np.where(due, nxt, next_rel)
+            next_rel = ns.where(due, nxt, next_rel)
         else:
             nxt = next_rel + period
-            next_rel = np.where(
-                due, np.where(nxt < hz[:, None], nxt, INF), next_rel
+            next_rel = ns.where(
+                due, ns.where(nxt < hz[:, None], nxt, INF), next_rel
             )
 
     release_due()  # the scalar pre-loop release_due(0)
 
-    while idx.size:
+    while idx.shape[0]:
         iteration += 1
         if iteration > max_events:
             # The scalar simulator raises SimulationError here; record the
@@ -638,37 +710,36 @@ def simulate_batch(
             out_exceeded[idx] = True
             out_events[idx] = iteration
             break
-        M = idx.size
+        M = idx.shape[0]
 
         # -- EDF selection: per-row (deadline, release) stable argsort, then
         #    either the FREE-mode area accumulation or the placement-aware
         #    contiguous-hole walk — same adds/comparisons as the scalar path.
-        order = np.lexsort((rel, abs_dl), axis=-1)
+        order = ns.lexsort((rel, abs_dl), axis=-1)
         if use_placement:
             running = _select_placement(
-                order, area_m, area_i, pos, pin,
+                ns, order, area_m, area_i, pos, pin,
                 device_words, device.width, placement_policy, skip_blocked,
             )
         else:
             area_s = area_m[rows, order]
-            run_s = np.empty((M, N), dtype=bool)
             if skip_blocked:  # EDF-NF: greedy, a blocked job is skipped
-                used = np.zeros(M)
+                run_s = ns.empty((M, N), dtype=ns.bool_)
+                used = ns.zeros((M,), dtype=ns.float64)
                 for j in range(N):
                     a_j = area_s[:, j]
                     take = used + a_j <= capacity
-                    used += np.where(take, a_j, 0.0)
+                    used += ns.where(take, a_j, 0.0)
                     run_s[:, j] = take
             else:  # EDF-FkF: prefix, first blocked job stops the scan.
                 # Areas are positive, so the running sum over the active
                 # prefix is strictly increasing and "cumsum <= capacity" is
-                # exactly the largest-fitting-prefix rule (np.cumsum
+                # exactly the largest-fitting-prefix rule (cumsum
                 # accumulates left-to-right like the scalar loop).
-                finite = np.isfinite(area_s)
-                csum = np.cumsum(np.where(finite, area_s, 0.0), axis=1)
-                np.less_equal(csum, capacity, out=run_s)
-                run_s &= finite
-            running = np.zeros((M, N), dtype=bool)
+                finite = ns.isfinite(area_s)
+                csum = ns.cumsum(ns.where(finite, area_s, 0.0), axis=1)
+                run_s = (csum <= capacity) & finite
+            running = ns.zeros((M, N), dtype=ns.bool_)
             running[rows, order] = run_s
 
         # -- next event per row: release, completion, or deadline expiry
@@ -676,25 +747,25 @@ def simulate_batch(
         #    candidate kinds — same value as three separate mins).
         now_col = now[:, None]
         now_eps = now_col + eps
-        cand = np.minimum(
-            next_rel, np.where(running, now_col + remaining, INF)
+        cand = ns.minimum(
+            next_rel, ns.where(running, now_col + remaining, INF)
         )
-        np.minimum(cand, np.where(abs_dl > now_eps, abs_dl, INF), out=cand)
-        t_next = np.minimum(cand.min(axis=1), hz)
+        cand = ns.minimum(cand, ns.where(abs_dl > now_eps, abs_dl, INF))
+        t_next = ns.minimum(ns.min(cand, axis=1), hz)
 
         # -- advance the running jobs to t_next.
         dt = t_next - now
         adv = (dt > 0)[:, None] & running
-        remaining = np.where(adv, remaining - dt[:, None], remaining)
+        remaining = ns.where(adv, remaining - dt[:, None], remaining)
         now = t_next
         now_col = now[:, None]
         now_eps = now_col + eps
 
         # -- completions first (finishing exactly at the deadline succeeds).
         completed = running & (remaining <= eps)
-        if completed.any():
-            abs_dl = np.where(completed, INF, abs_dl)
-            area_m = np.where(completed, INF, area_m)
+        if ns.any(completed):
+            abs_dl = ns.where(completed, INF, abs_dl)
+            area_m = ns.where(completed, INF, area_m)
             if use_placement:
                 # The scalar loop pops positions/pins on completion; the
                 # successor job of the task starts unplaced.
@@ -705,14 +776,15 @@ def simulate_batch(
         # -- deadline misses decide the row (inactive slots have inf
         #    deadlines and can never register here).
         miss = (abs_dl <= now_eps) & (remaining > eps)
-        row_miss = miss.any(axis=1)
+        row_miss = ns.any(miss, axis=1)
         done = row_miss | (now >= hz - eps)
-        if done.any():
-            decided = idx[done]
-            out_ok[decided] = ~row_miss[done]
+        if ns.any(done):
+            done_h = ns.asnumpy(done)
+            decided = idx[done_h]
+            out_ok[decided] = ~ns.asnumpy(row_miss)[done_h]
             out_events[decided] = iteration
-            compact(~done)
-            if not idx.size:
+            compact(~done, ~done_h)
+            if not idx.shape[0]:
                 break
 
         # -- releases due at the new `now` (one job per task slot).

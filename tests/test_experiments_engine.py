@@ -245,6 +245,70 @@ class TestAcceptanceExperiment:
         assert len(rows[0]) == 4  # us + 3 tests
 
 
+class TestArrayBackendThreading:
+    """sim_array_backend plumbing + the device-backend serial override."""
+
+    def _run(self, **kw):
+        defaults = dict(
+            profile=paper_unconstrained(3),
+            fpga=Fpga(width=100),
+            us_grid=[30.0, 70.0],
+            samples_per_point=25,
+            seed=9,
+            sim_samples_per_point=8,
+            horizon_factor=4,
+        )
+        defaults.update(kw)
+        return acceptance_experiment(**defaults)
+
+    def test_explicit_numpy_backend_matches_default(self):
+        a = self._run()
+        b = self._run(sim_array_backend="numpy")
+        assert a.series == b.series
+
+    def test_unknown_array_backend_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="array backend"):
+            self._run(sim_array_backend="quantum")
+
+    def test_unavailable_array_backend_raises_backend_unavailable(self):
+        from repro.vector import xp as xp_mod
+
+        missing = [
+            n for n in ("cupy", "torch")
+            if not xp_mod.backend_available(n)
+        ]
+        if not missing:
+            pytest.skip("all optional backends installed here")
+        with pytest.raises(xp_mod.BackendUnavailable):
+            self._run(sim_array_backend=missing[0])
+
+    def test_device_backend_forces_serial_workers(self, monkeypatch):
+        """Forked workers must not share a GPU context: with a device
+        backend active and workers > 1, the engine warns once and drops
+        to serial chunking (the run still completes)."""
+        from repro.vector import xp as xp_mod
+
+        backend = xp_mod.get_backend("numpy")
+        monkeypatch.setattr(backend, "is_device", True)
+        with pytest.warns(RuntimeWarning, match="serial"):
+            curves = self._run(sim_array_backend="numpy", workers=4)
+        assert curves["sim:EDF-NF"].ratios  # sweep completed
+        # workers=1 with a device backend is fine — no warning.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            self._run(sim_array_backend="numpy", workers=1)
+
+    def test_host_backend_keeps_workers_quiet(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            curves = self._run(workers=2, sim_backend="scalar")
+        assert curves["sim:EDF-NF"].ratios
+
+
 class TestFigures:
     def test_all_figures_registered(self):
         assert set(FIGURES) == {"fig3a", "fig3b", "fig4a", "fig4b"}

@@ -89,6 +89,7 @@ class TestBatchStructure:
         assert not hot.feasible_mask.any()
 
 
+@pytest.mark.usefixtures("array_backend")
 @pytest.mark.parametrize("profile", PROFILES, ids=lambda p: p.name)
 @pytest.mark.parametrize("seed", [1, 2])
 class TestScalarVectorEquivalence:
@@ -141,6 +142,45 @@ class TestScalarVectorEquivalence:
         scalar = Gn2Test(strict_condition2=False)
         for i, ts in enumerate(batch.to_tasksets()):
             assert vec[i] == scalar(ts, FPGA).accepted, f"set {i}"
+
+
+@pytest.mark.usefixtures("array_backend")
+class TestFloat32Inputs:
+    """Knife-edge dtype pinning: float32 input batches must yield the
+    same verdicts as their (exactly-representable) float64 twins — the
+    kernels pin every array to float64 at the batch boundary, so no
+    backend computes the strict-inequality bounds in single precision."""
+
+    def _pair(self, seed=11, count=120):
+        b64 = _batch(paper_unconstrained(6), seed, count=count)
+        f32 = TaskSetBatch(
+            b64.wcet.astype(np.float32), b64.period.astype(np.float32),
+            b64.deadline.astype(np.float32), b64.area.astype(np.float32),
+        )
+        # Evaluate the float64 reference on the float32 values (the cast
+        # rounds); upcasting back is exact, so verdicts must agree.
+        back = TaskSetBatch(
+            f32.wcet.astype(np.float64), f32.period.astype(np.float64),
+            f32.deadline.astype(np.float64), f32.area.astype(np.float64),
+        )
+        return f32, back
+
+    def test_analytical_verdicts_match_float64(self):
+        f32, back = self._pair()
+        assert (dp_accepts(f32, CAPACITY) == dp_accepts(back, CAPACITY)).all()
+        assert (gn1_accepts(f32, CAPACITY) == gn1_accepts(back, CAPACITY)).all()
+        assert (gn2_accepts(f32, CAPACITY) == gn2_accepts(back, CAPACITY)).all()
+        assert (
+            necessary_mask(f32, CAPACITY) == necessary_mask(back, CAPACITY)
+        ).all()
+
+    def test_float32_verdicts_match_scalar_reference(self):
+        """And the float32 batch agrees with the scalar tests evaluated
+        on the rounded values, bit for bit."""
+        f32, back = self._pair(seed=12, count=60)
+        vec = dp_accepts(f32, CAPACITY)
+        for i, ts in enumerate(back.to_tasksets()):
+            assert vec[i] == dp_test(ts, FPGA).accepted, f"set {i}"
 
 
 class TestChunking:

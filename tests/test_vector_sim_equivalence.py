@@ -84,6 +84,7 @@ def _assert_verdicts_match(batch, sched_name, sched_cls, factor=5):
     return vec
 
 
+@pytest.mark.usefixtures("array_backend")
 @pytest.mark.parametrize("sched_name,sched_cls", SCHEDULERS)
 @pytest.mark.parametrize("profile", PROFILES, ids=lambda p: p.name)
 class TestRandomBatchEquivalence:
@@ -94,6 +95,7 @@ class TestRandomBatchEquivalence:
         assert 0.0 <= vec.acceptance_ratio <= 1.0
 
 
+@pytest.mark.usefixtures("array_backend")
 @pytest.mark.parametrize("sched_name,sched_cls", SCHEDULERS)
 class TestKnifeEdgeEquivalence:
     def test_paper_tables(self, sched_name, sched_cls, table1, table2, table3):
@@ -126,6 +128,48 @@ class TestKnifeEdgeEquivalence:
         area = np.array([[60.0, 40.0]])
         batch = TaskSetBatch(wcet, period, period.copy(), area)
         _assert_verdicts_match(batch, sched_name, sched_cls)
+
+
+@pytest.mark.usefixtures("array_backend")
+class TestFloat32Inputs:
+    """Knife-edge dtype pinning: simulate_batch pins its state arrays to
+    float64 at the batch boundary, so a float32 input batch yields the
+    same verdicts as its exactly-upcast float64 twin — on every backend
+    (float32 event arithmetic would drift the eps comparisons)."""
+
+    def test_float32_batch_matches_float64_twin(self):
+        b64 = _batch(paper_unconstrained(6), seed=61, count=20)
+        f32 = TaskSetBatch(
+            b64.wcet.astype(np.float32), b64.period.astype(np.float32),
+            b64.deadline.astype(np.float32), b64.area.astype(np.float32),
+        )
+        back = TaskSetBatch(
+            f32.wcet.astype(np.float64), f32.period.astype(np.float64),
+            f32.deadline.astype(np.float64), f32.area.astype(np.float64),
+        )
+        for sched_name, _ in SCHEDULERS:
+            lo = simulate_batch(f32, CAPACITY, sched_name, horizon_factor=5)
+            hi = simulate_batch(back, CAPACITY, sched_name, horizon_factor=5)
+            assert (lo.schedulable == hi.schedulable).all()
+            assert (lo.horizon == hi.horizon).all()
+            assert lo.schedulable.dtype == np.bool_
+            assert lo.horizon.dtype == np.float64
+
+    def test_float32_verdicts_match_scalar_reference(self):
+        """The float32 batch agrees with the scalar simulator evaluated
+        on the rounded (then exactly-upcast) parameters, bit for bit."""
+        b64 = _batch(paper_unconstrained(4), seed=62, count=12)
+        f32 = TaskSetBatch(
+            b64.wcet.astype(np.float32), b64.period.astype(np.float32),
+            b64.deadline.astype(np.float32), b64.area.astype(np.float32),
+        )
+        vec = simulate_batch(f32, CAPACITY, "EDF-NF", horizon_factor=5)
+        for i in range(f32.count):
+            ts = f32.taskset(i)  # Task stores python floats — exact upcast
+            ref = simulate(
+                ts, FPGA, EdfNf(), default_horizon(ts, factor=5)
+            ).schedulable
+            assert bool(vec.schedulable[i]) == ref, f"set {i}: {ts}"
 
 
 class TestBudgetAndHorizon:
@@ -202,6 +246,7 @@ def _assert_placement_match(batch, fpga, mode, policy, sched_name, sched_cls,
     return vec
 
 
+@pytest.mark.usefixtures("array_backend")
 @pytest.mark.parametrize("fpga", PLACEMENT_DEVICES,
                          ids=["plain", "static-regions"])
 @pytest.mark.parametrize("policy", list(PlacementPolicy),
@@ -392,6 +437,7 @@ def _assert_sporadic_verdicts_match(batch, seed, sched_name, sched_cls,
     return vec
 
 
+@pytest.mark.usefixtures("array_backend")
 @pytest.mark.parametrize("sched_name,sched_cls", SCHEDULERS)
 class TestOffsetEquivalence:
     """Random per-row offsets: batch verdicts == simulate(offsets=...)."""
@@ -455,6 +501,7 @@ class TestOffsetEquivalence:
                 )
 
 
+@pytest.mark.usefixtures("array_backend")
 @pytest.mark.parametrize("sched_name,sched_cls", SCHEDULERS)
 class TestSporadicEquivalence:
     """Seed-shared sporadic schedules: batch == simulate_release_schedule."""
