@@ -1,0 +1,132 @@
+"""Budget efficiency of the release-pattern searches (uniform vs
+adaptive).
+
+The §6 upper bound tightens with every counterexample found, so the
+figure of merit for a pattern search is **misses certified per 1000
+simulated patterns** at a fixed per-taskset budget.  The smoke-marked
+bench runs both searches over the seeded fixture sweeps of the
+offset/sporadic ablations (same batch and pattern streams, misses
+counted among the synchronous/periodic survivors — exactly the
+population the searched curves subtract from) and records both rates in
+the benchmark JSON (``extra_info`` -> the ``BENCH_<sha>.json``
+artifacts), giving the efficiency trajectory a per-PR data point next
+to the throughput benches.  It also asserts the PR's acceptance
+property: at equal per-taskset budget the adaptive search certifies at
+least as many misses as uniform in every bucket and strictly more in
+at least one — while early stop means it simulates *fewer* patterns to
+do so, which the per-1k rates amplify.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.acceptance import feasible_batch_at
+from repro.fpga.device import Fpga
+from repro.gen.profiles import paper_unconstrained
+from repro.search import SearchConfig
+from repro.search.drivers import (
+    adaptive_offset_search_batch,
+    adaptive_sporadic_search_batch,
+    uniform_offset_search_batch,
+    uniform_sporadic_search_batch,
+)
+from repro.util.rngutil import rng_from_seed, spawn_rngs
+from repro.vector.batch import TaskSetBatch
+from repro.vector.sim_vec import simulate_batch
+
+FPGA = Fpga(width=100)
+HORIZON_FACTOR = 10
+CONFIG = SearchConfig(rounds=4, elite_frac=0.25)
+
+#: family -> (us grid, tasksets per bucket, patterns per taskset, seed)
+#: — the seeded fixture sweeps of tests/test_search_adaptive.py's
+#: dominance tests, reproduced at driver level so pattern counts are
+#: exact.
+FIXTURES = {
+    "offsets": ((70.0, 80.0, 85.0), 30, 20, 43),
+    "sporadic": ((80.0, 85.0, 90.0), 40, 30, 47),
+}
+
+
+def _sweep(family: str, search: str):
+    """Per-bucket misses among baseline survivors + total patterns."""
+    grid, samples, budget, seed = FIXTURES[family]
+    bucket_rngs = spawn_rngs(seed, len(grid))
+    misses, patterns = [], 0
+    for i, us in enumerate(grid):
+        batch = feasible_batch_at(
+            paper_unconstrained(10), us, samples, bucket_rngs[i]
+        )
+        sync = simulate_batch(
+            batch, FPGA, "EDF-NF", horizon_factor=HORIZON_FACTOR
+        ).schedulable
+        if family == "offsets":
+            if search == "uniform":
+                out = uniform_offset_search_batch(
+                    batch, FPGA, "EDF-NF", patterns=budget,
+                    rng=rng_from_seed(seed * 1000 + i),
+                    horizon_factor=HORIZON_FACTOR,
+                )
+            else:
+                out = adaptive_offset_search_batch(
+                    batch, FPGA, "EDF-NF", budget=budget,
+                    rngs=spawn_rngs(seed * 1000 + i, batch.count),
+                    config=CONFIG, horizon_factor=HORIZON_FACTOR,
+                )
+        else:
+            if search == "uniform":
+                out = uniform_sporadic_search_batch(
+                    batch, FPGA, "EDF-NF", patterns=budget,
+                    rng=rng_from_seed(seed * 1000 + i),
+                    horizon_factor=HORIZON_FACTOR,
+                )
+            else:
+                out = adaptive_sporadic_search_batch(
+                    batch, FPGA, "EDF-NF", budget=budget,
+                    rngs=spawn_rngs(seed * 1000 + i, batch.count),
+                    config=CONFIG, horizon_factor=HORIZON_FACTOR,
+                )
+        misses.append(int((out.found & sync).sum()))
+        patterns += int(out.patterns_used.sum())
+    return misses, patterns
+
+
+def _rate(misses, patterns) -> float:
+    return 1000.0 * sum(misses) / patterns if patterns else 0.0
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parametrize("family", sorted(FIXTURES))
+def test_bench_search_budget_efficiency(benchmark, family):
+    """Misses found per 1k patterns: adaptive >= uniform, per bucket."""
+    benchmark.group = f"search-efficiency-{family}"
+    adaptive_misses, adaptive_patterns = benchmark.pedantic(
+        lambda: _sweep(family, "adaptive"), rounds=1, iterations=1
+    )
+    adaptive_time = benchmark.stats.stats.mean
+
+    t0 = time.perf_counter()
+    uniform_misses, uniform_patterns = _sweep(family, "uniform")
+    uniform_time = time.perf_counter() - t0
+
+    uniform_rate = _rate(uniform_misses, uniform_patterns)
+    adaptive_rate = _rate(adaptive_misses, adaptive_patterns)
+    benchmark.extra_info["uniform_misses_per_1k_patterns"] = uniform_rate
+    benchmark.extra_info["adaptive_misses_per_1k_patterns"] = adaptive_rate
+    benchmark.extra_info["uniform_misses"] = uniform_misses
+    benchmark.extra_info["adaptive_misses"] = adaptive_misses
+    benchmark.extra_info["pattern_budget"] = FIXTURES[family][2]
+
+    grid = FIXTURES[family][0]
+    print(f"\n{family}: uniform {sum(uniform_misses)} misses / "
+          f"{uniform_patterns} patterns ({uniform_rate:.1f}/1k, "
+          f"{uniform_time:.2f} s), adaptive {sum(adaptive_misses)} / "
+          f"{adaptive_patterns} ({adaptive_rate:.1f}/1k, "
+          f"{adaptive_time:.2f} s) over buckets {grid}")
+    print(f"per-bucket misses: uniform {uniform_misses}, "
+          f"adaptive {adaptive_misses}")
+
+    assert all(a >= u for u, a in zip(uniform_misses, adaptive_misses))
+    assert sum(adaptive_misses) > sum(uniform_misses)
+    assert adaptive_rate > uniform_rate

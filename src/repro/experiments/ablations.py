@@ -15,13 +15,24 @@
   drops when jittered inter-arrival patterns are searched as well.
 
 Both release-pattern searches fan their pattern axis into the *batch*
-dimension of :func:`repro.vector.sim_vec.simulate_batch`: a bucket's
-``B`` tasksets are repeated ``P`` times (``B x P`` rows, one pattern per
-repeat), simulated in one sweep, and reduced per taskset with "any
-failing pattern ⇒ unschedulable".  The searched verdict is always
-*intersected* with the synchronous/periodic one, so the searched curve
-is pointwise <= the baseline curve by construction (a pattern search can
-only remove acceptances, never add them).
+dimension of :func:`repro.vector.sim_vec.simulate_batch` (via the
+:mod:`repro.search` drivers): a bucket's ``B`` tasksets are repeated
+``P`` times (``B x P`` rows, one pattern per repeat), simulated in one
+sweep, and reduced per taskset with "any failing pattern ⇒
+unschedulable".  The searched verdict is always *intersected* with the
+synchronous/periodic one, so the searched curve is pointwise <= the
+baseline curve by construction (a pattern search can only remove
+acceptances, never add them).
+
+Both searches take a ``search`` axis: ``"uniform"`` draws patterns
+independently (the historical behaviour, still the default), and
+``"adaptive"`` spends the *same* per-taskset pattern budget through the
+cross-entropy importance sampler of :mod:`repro.search` — per-task
+proposals refit on the lowest-``min_slack`` (near-miss) patterns each
+round, with a uniform-mixture exploration floor.  Every adaptive sample
+is still a legal pattern and the intersection invariant is unchanged,
+so adaptivity can only *lower* the searched curve toward the true
+acceptance — more counterexamples found per simulated pattern.
 """
 
 from __future__ import annotations
@@ -40,27 +51,40 @@ from repro.fpga.device import Fpga
 from repro.fpga.placement import PlacementPolicy
 from repro.gen.profiles import GenerationProfile, paper_unconstrained
 from repro.sched.edf_nf import EdfNf
-from repro.sim.offsets import sample_offsets, simulate_with_offsets
+from repro.search.drivers import (
+    adaptive_offset_search_batch,
+    adaptive_sporadic_search_batch,
+    uniform_offset_search_batch,
+    uniform_sporadic_search_batch,
+)
+from repro.search.proposal import SearchConfig
+from repro.sim.offsets import (
+    adaptive_offset_search,
+    sample_offsets,
+    simulate_with_offsets,
+)
 from repro.sim.simulator import MigrationMode, default_horizon, simulate
-from repro.sim.sporadic import sample_release_schedule, simulate_release_schedule
+from repro.sim.sporadic import (
+    adaptive_sporadic_search,
+    sample_release_schedule,
+    simulate_release_schedule,
+)
 from repro.util.rngutil import rng_from_seed, spawn_rngs
 from repro.vector.batch import TaskSetBatch
-from repro.vector.sim_vec import (
-    default_horizon_batch,
-    sample_offsets_batch,
-    simulate_batch,
-)
+from repro.vector.sim_vec import simulate_batch
 
 
-def _repeat_batch(batch: TaskSetBatch, times: int) -> TaskSetBatch:
-    """Each row repeated ``times`` consecutively (row b -> rows b*P..b*P+P-1),
-    so a ``(B, P)`` reshape of the fanned verdicts restores the pairing."""
+def _batch_rows(batch: TaskSetBatch, idx: "np.ndarray") -> TaskSetBatch:
     return TaskSetBatch(
-        np.repeat(batch.wcet, times, axis=0),
-        np.repeat(batch.period, times, axis=0),
-        np.repeat(batch.deadline, times, axis=0),
-        np.repeat(batch.area, times, axis=0),
+        batch.wcet[idx], batch.period[idx], batch.deadline[idx], batch.area[idx]
     )
+
+
+def _search_config(search: str, search_rounds: int, elite_frac: float) -> SearchConfig:
+    """Validate the search axis shared by both release-pattern ablations."""
+    if search not in ("uniform", "adaptive"):
+        raise ValueError(f"unknown search {search!r} (uniform or adaptive)")
+    return SearchConfig(rounds=search_rounds, elite_frac=elite_frac)
 
 
 def alpha_ablation(
@@ -196,6 +220,9 @@ def offset_ablation(
     horizon_factor: int = 10,
     sim_backend: str = "vector",
     array_backend: Optional[str] = None,
+    search: str = "uniform",
+    search_rounds: int = 4,
+    elite_frac: float = 0.25,
 ) -> AcceptanceCurves:
     """Synchronous-release acceptance vs offset-searched acceptance.
 
@@ -207,9 +234,19 @@ def offset_ablation(
     (bit-identical verdicts and identical offset draws, for
     cross-checks).
 
-    Soundness invariants (both backends):
+    ``search`` picks how the per-taskset budget of ``offset_samples``
+    patterns is spent: ``"uniform"`` (default) draws assignments
+    independently; ``"adaptive"`` runs the cross-entropy importance
+    sampler of :mod:`repro.search` (``search_rounds`` rounds,
+    ``elite_frac`` refit fraction) seeded per taskset, so low-slack
+    regions of offset space get the budget.  Both searches support both
+    backends with bit-identical curves (per-taskset streams under
+    adaptive, a shared taskset-major stream under uniform).
 
-    * every pattern's window is extended by its largest offset (the
+    Soundness invariants (both searches, both backends):
+
+    * every sampled offset lies in ``[0, T_i)`` — a legal pattern — and
+      every pattern's window is extended by its largest offset (the
       horizon-extension rule — see :mod:`repro.sim.offsets`), so offset
       tasks never see fewer simulated jobs than the synchronous run;
     * the searched verdict is the *intersection* of the synchronous
@@ -221,12 +258,17 @@ def offset_ablation(
         raise ValueError(f"unknown sim_backend {sim_backend!r}")
     if offset_samples < 0:
         raise ValueError("offset_samples must be >= 0")
+    config = _search_config(search, search_rounds, elite_frac)
     fpga = Fpga(width=100)
     rngs = spawn_rngs(seed, len(us_grid))
     sync_ratios, offset_ratios = [], []
     for i, us in enumerate(us_grid):
         batch = feasible_batch_at(profile, float(us), samples, rngs[i])
+        # Uniform search shares one taskset-major stream per bucket; the
+        # adaptive search gives every taskset its own child stream (rows
+        # stop independently, so a shared stream would desynchronize).
         offset_rng = rng_from_seed(seed * 1000 + i)
+        pattern_rngs = spawn_rngs(seed * 1000 + i, batch.count)
         if sim_backend == "vector":
             sync = simulate_batch(
                 batch, fpga, "EDF-NF", horizon_factor=horizon_factor,
@@ -234,32 +276,49 @@ def offset_ablation(
             ).schedulable
             searched = sync.copy()
             if offset_samples:
-                # Taskset-major draw (B, P, N): the same stream order as
-                # the scalar path's per-taskset sample_offsets calls.
-                high = np.broadcast_to(
-                    batch.period[:, None, :],
-                    (batch.count, offset_samples, batch.n_tasks),
-                )
-                offs = offset_rng.uniform(0.0, high)
-                fanned = _repeat_batch(batch, offset_samples)
-                res = simulate_batch(
-                    fanned, fpga, "EDF-NF",
-                    offsets=offs.reshape(-1, batch.n_tasks),
-                    horizon_factor=horizon_factor,
-                    array_backend=array_backend,
-                )
-                searched &= res.schedulable.reshape(
-                    batch.count, offset_samples
-                ).all(axis=1)
+                if search == "uniform":
+                    outcome = uniform_offset_search_batch(
+                        batch, fpga, "EDF-NF",
+                        patterns=offset_samples, rng=offset_rng,
+                        horizon_factor=horizon_factor,
+                        array_backend=array_backend,
+                    )
+                    searched &= ~outcome.found
+                else:
+                    # Only sync-survivors: a sync-failing row's searched
+                    # verdict is already False, and per-row streams make
+                    # skipping safe (mirrors the scalar branch below).
+                    live = np.nonzero(sync)[0]
+                    if live.size:
+                        outcome = adaptive_offset_search_batch(
+                            _batch_rows(batch, live), fpga, "EDF-NF",
+                            budget=offset_samples,
+                            rngs=[pattern_rngs[b] for b in live],
+                            config=config, horizon_factor=horizon_factor,
+                            array_backend=array_backend,
+                        )
+                        searched[live] &= ~outcome.found
             sync_ok = int(sync.sum())
             offset_ok = int(searched.sum())
         else:
             sync_ok = offset_ok = 0
-            for ts in batch.to_tasksets():
+            for b, ts in enumerate(batch.to_tasksets()):
                 horizon = default_horizon(ts, factor=horizon_factor)
                 sync_passes = simulate(ts, fpga, EdfNf(), horizon).schedulable
                 sync_ok += sync_passes
-                if sync_passes:
+                if search == "adaptive":
+                    # Per-taskset streams: sync-failing sets need no
+                    # search (their searched verdict is already False)
+                    # and skipping them cannot desynchronize the others.
+                    searched_passes = sync_passes
+                    if searched_passes and offset_samples:
+                        searched_passes = adaptive_offset_search(
+                            ts, fpga, EdfNf(), horizon, pattern_rngs[b],
+                            budget=offset_samples, config=config,
+                            include_synchronous=False,
+                        ).schedulable
+                    offset_ok += searched_passes
+                elif sync_passes:
                     searched_passes = simulate_with_offsets(
                         ts, fpga, EdfNf(), horizon, offset_rng,
                         samples=offset_samples, include_synchronous=False,
@@ -275,7 +334,7 @@ def offset_ablation(
         offset_ratios.append(offset_ok / samples)
     buckets = tuple(float(u) for u in us_grid)
     return AcceptanceCurves(
-        name="ablation: synchronous vs offset-searched simulation",
+        name=f"ablation: synchronous vs offset-searched ({search}) simulation",
         capacity=fpga.capacity,
         samples_per_point=samples,
         sim_samples_per_point=samples,
@@ -296,35 +355,49 @@ def sporadic_ablation(
     horizon_factor: int = 10,
     sim_backend: str = "vector",
     array_backend: Optional[str] = None,
+    search: str = "uniform",
+    search_rounds: int = 4,
+    elite_frac: float = 0.25,
 ) -> AcceptanceCurves:
     """Periodic-release acceptance vs sporadic-searched acceptance.
 
     The paper's task model is sporadic (``T`` is a *minimum*
     inter-arrival time) but its simulation releases strictly
     periodically; this ablation searches ``sporadic_samples`` jittered
-    patterns per taskset (gaps ``T_i * (1 + U(0, jitter))``) for
-    counterexamples, the release-pattern sibling of
-    :func:`offset_ablation`.  The searched verdict is the intersection
-    of the periodic verdict and every sampled pattern, so the sporadic
-    curve is pointwise <= the periodic curve.
+    patterns per taskset (gaps ``>= T_i`` always) for counterexamples,
+    the release-pattern sibling of :func:`offset_ablation`.  The
+    searched verdict is the intersection of the periodic verdict and
+    every sampled pattern, so the sporadic curve is pointwise <= the
+    periodic curve.
+
+    ``search="uniform"`` (default) draws per-gap jitter independently
+    (gaps ``T_i * (1 + U(0, jitter))``); ``"adaptive"`` spends the same
+    budget through the cross-entropy sampler of :mod:`repro.search`
+    over constant-per-task gap factors (``search_rounds`` rounds,
+    ``elite_frac`` refit fraction) — tasks drift against each other at
+    fitted rates, steering toward near-miss phase alignments.
 
     ``sim_backend="vector"`` (default) fans the pattern axis into the
     batch dimension of :func:`simulate_batch`; ``"scalar"`` replays the
     same sampled schedules through
     :func:`repro.sim.sporadic.simulate_release_schedule` (bit-identical
-    verdicts on the shared stream, for cross-checks).
+    verdicts on the shared stream, for cross-checks) — under
+    ``"adaptive"`` each taskset replays its own child stream through
+    :func:`repro.sim.sporadic.adaptive_sporadic_search`.
     """
     profile = profile or paper_unconstrained(10)
     if sim_backend not in ("vector", "scalar"):
         raise ValueError(f"unknown sim_backend {sim_backend!r}")
     if sporadic_samples < 0:
         raise ValueError("sporadic_samples must be >= 0")
+    config = _search_config(search, search_rounds, elite_frac)
     fpga = Fpga(width=100)
     rngs = spawn_rngs(seed, len(us_grid))
     periodic_ratios, sporadic_ratios = [], []
     for i, us in enumerate(us_grid):
         batch = feasible_batch_at(profile, float(us), samples, rngs[i])
         pattern_rng = rng_from_seed(seed * 1000 + i)
+        pattern_rngs = spawn_rngs(seed * 1000 + i, batch.count)
         if sim_backend == "vector":
             periodic = simulate_batch(
                 batch, fpga, "EDF-NF", horizon_factor=horizon_factor,
@@ -332,43 +405,67 @@ def sporadic_ablation(
             ).schedulable
             searched = periodic.copy()
             if sporadic_samples:
-                fanned = _repeat_batch(batch, sporadic_samples)
-                res = simulate_batch(
-                    fanned, fpga, "EDF-NF",
-                    release="sporadic", jitter=jitter, rng=pattern_rng,
-                    horizon_factor=horizon_factor,
-                    array_backend=array_backend,
-                )
-                searched &= res.schedulable.reshape(
-                    batch.count, sporadic_samples
-                ).all(axis=1)
+                if search == "uniform":
+                    outcome = uniform_sporadic_search_batch(
+                        batch, fpga, "EDF-NF",
+                        patterns=sporadic_samples, rng=pattern_rng,
+                        max_jitter_factor=jitter,
+                        horizon_factor=horizon_factor,
+                        array_backend=array_backend,
+                    )
+                    searched &= ~outcome.found
+                else:
+                    # Only periodic-survivors (see offset_ablation).
+                    live = np.nonzero(periodic)[0]
+                    if live.size:
+                        outcome = adaptive_sporadic_search_batch(
+                            _batch_rows(batch, live), fpga, "EDF-NF",
+                            budget=sporadic_samples,
+                            rngs=[pattern_rngs[b] for b in live],
+                            max_jitter_factor=jitter, config=config,
+                            horizon_factor=horizon_factor,
+                            array_backend=array_backend,
+                        )
+                        searched[live] &= ~outcome.found
             periodic_ok = int(periodic.sum())
             sporadic_ok = int(searched.sum())
         else:
             periodic_ok = sporadic_ok = 0
-            for ts in batch.to_tasksets():
+            for b, ts in enumerate(batch.to_tasksets()):
                 horizon = default_horizon(ts, factor=horizon_factor)
                 periodic_passes = simulate(
                     ts, fpga, EdfNf(), horizon
                 ).schedulable
                 periodic_ok += periodic_passes
-                all_pass = periodic_passes
-                for _ in range(sporadic_samples):
-                    # Always sample (stream stays aligned with the vector
-                    # backend); only simulate while still undefeated.
-                    schedule = sample_release_schedule(
-                        ts, horizon, pattern_rng, jitter
-                    )
-                    if all_pass:
-                        all_pass = simulate_release_schedule(
-                            ts, fpga, EdfNf(), horizon, schedule
+                if search == "adaptive":
+                    # Per-taskset streams (see offset_ablation).
+                    all_pass = periodic_passes
+                    if all_pass and sporadic_samples:
+                        all_pass = adaptive_sporadic_search(
+                            ts, fpga, EdfNf(), horizon, pattern_rngs[b],
+                            budget=sporadic_samples,
+                            max_jitter_factor=jitter, config=config,
+                            include_periodic=False,
                         ).schedulable
+                else:
+                    all_pass = periodic_passes
+                    for _ in range(sporadic_samples):
+                        # Always sample (stream stays aligned with the
+                        # vector backend); only simulate while still
+                        # undefeated.
+                        schedule = sample_release_schedule(
+                            ts, horizon, pattern_rng, jitter
+                        )
+                        if all_pass:
+                            all_pass = simulate_release_schedule(
+                                ts, fpga, EdfNf(), horizon, schedule
+                            ).schedulable
                 sporadic_ok += all_pass
         periodic_ratios.append(periodic_ok / samples)
         sporadic_ratios.append(sporadic_ok / samples)
     buckets = tuple(float(u) for u in us_grid)
     return AcceptanceCurves(
-        name="ablation: periodic vs sporadic-searched simulation",
+        name=f"ablation: periodic vs sporadic-searched ({search}) simulation",
         capacity=fpga.capacity,
         samples_per_point=samples,
         sim_samples_per_point=samples,

@@ -25,10 +25,12 @@ class Experiment:
     description: str
     #: (samples, seed, workers, sim_backend="vector",
     #: sim_array_backend=None, ci_target=None, sim_mode=...,
-    #: sim_policy=..., sim_release=..., sim_jitter=...)
+    #: sim_policy=..., sim_release=..., sim_jitter=..., sim_search=...,
+    #: sim_search_rounds=..., sim_elite_frac=...)
     #: -> AcceptanceCurves.  Runners that cannot honour a knob (e.g.
-    #: ci_target on the offset search, or the sim_* sweeps on ablations
-    #: that sweep those axes themselves) accept and ignore it.
+    #: ci_target on the offset search, the sim_* sweeps on ablations
+    #: that sweep those axes themselves, or sim_search on experiments
+    #: without a pattern search) accept and ignore it.
     runner: Callable[..., AcceptanceCurves]
     default_samples: int
 
@@ -45,6 +47,7 @@ def _figure_runner(figure_id: str):
         sim_policy: PlacementPolicy = PlacementPolicy.FIRST_FIT,
         sim_release: str = "periodic",
         sim_jitter: float = 0.5,
+        **_sim_kw,  # sim_search etc.: no pattern search on figure curves
     ) -> AcceptanceCurves:
         # The vector backend simulates the whole bucket; the scalar one
         # keeps the historical 1-in-10 subsample to stay affordable.
@@ -103,7 +106,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
     # simulator by default (the scalar event loop is kept behind
     # sim_backend="scalar" for cross-checks) — including the
     # release-pattern searches, which fan their pattern axis into the
-    # batch dimension.
+    # batch dimension and take the sim_search axis ("uniform" draws,
+    # "adaptive" = the repro.search cross-entropy importance sampler
+    # with sim_search_rounds / sim_elite_frac knobs).
     "ablation-placement": Experiment(
         "ablation-placement",
         "Free migration vs contiguous placement (fragmentation cost)",
@@ -119,10 +124,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "ablation-offsets",
         "Synchronous-release simulation vs offset-searched upper bound",
         lambda samples, seed, workers, sim_backend="vector",
-        sim_array_backend=None, ci_target=None, **_sim_kw:
+        sim_array_backend=None, ci_target=None, sim_search="uniform",
+        sim_search_rounds=4, sim_elite_frac=0.25, **_sim_kw:
             ablations.offset_ablation(
                 samples=samples, seed=seed, sim_backend=sim_backend,
-                array_backend=sim_array_backend,
+                array_backend=sim_array_backend, search=sim_search,
+                search_rounds=sim_search_rounds, elite_frac=sim_elite_frac,
             ),
         default_samples=200,
     ),
@@ -130,10 +137,14 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "ablation-sporadic",
         "Periodic-release simulation vs sporadic-searched upper bound",
         lambda samples, seed, workers, sim_backend="vector",
-        sim_array_backend=None, ci_target=None, sim_jitter=0.5, **_sim_kw:
+        sim_array_backend=None, ci_target=None, sim_jitter=0.5,
+        sim_search="uniform", sim_search_rounds=4, sim_elite_frac=0.25,
+        **_sim_kw:
             ablations.sporadic_ablation(
                 samples=samples, seed=seed, sim_backend=sim_backend,
                 jitter=sim_jitter, array_backend=sim_array_backend,
+                search=sim_search, search_rounds=sim_search_rounds,
+                elite_frac=sim_elite_frac,
             ),
         default_samples=200,
     ),

@@ -1,0 +1,135 @@
+"""The budgeted cross-entropy search loop, pattern-family agnostic.
+
+:func:`adaptive_pattern_search` owns the loop structure — budget split
+into rounds, per-row sampling from :class:`~repro.search.proposal.
+UnitProposal`, elite refitting, per-row early stop once a miss is
+certified — and delegates both the unit-cube -> pattern mapping and the
+simulation to a ``score_fn`` callback.  That keeps one copy of the
+search logic serving four drivers: batched/scalar x offsets/sporadic
+(the batched ones in :mod:`repro.search.patterns`, the scalar twins in
+:mod:`repro.sim.offsets` / :mod:`repro.sim.sporadic`).
+
+Per-row isolation is the load-bearing design point: each row has its
+own generator, proposal parameters and stop decision, so the search
+over a batch is *exactly* B independent single-row searches run in
+lockstep — which is what makes the scalar twins bit-reproducible
+against the batched drivers (same rng per row => same patterns => same
+verdicts and slacks, by the simulators' parity contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.search.proposal import SearchConfig, UnitProposal
+
+#: score_fn(live_rows, u) -> (slack, schedulable): simulate the
+#: ``(L, P, N)`` unit-cube patterns for the live row subset and return
+#: the per-pattern min-slack and verdict, both ``(L, P)``.
+ScoreFn = Callable[[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Per-row result of a release-pattern search (uniform or adaptive).
+
+    ``found`` marks rows where some sampled pattern missed a deadline —
+    a sound certificate of unschedulability (every sampled pattern is
+    legal).  ``min_slack`` is the best-effort near-miss record over all
+    patterns the row simulated (negative iff ``found``, ``+inf`` when
+    nothing was simulated); callers rank surviving rows by it.
+    ``patterns_used`` counts patterns actually simulated per row (early
+    stop makes it vary under adaptive search).
+    """
+
+    found: np.ndarray  # (B,) bool
+    min_slack: np.ndarray  # (B,) float64
+    patterns_used: np.ndarray  # (B,) int64
+    rounds_run: int
+
+    @property
+    def count(self) -> int:
+        return int(self.found.shape[0])
+
+    @property
+    def misses_found(self) -> int:
+        """Rows certified unschedulable by the search."""
+        return int(self.found.sum())
+
+
+def round_sizes(budget: int, rounds: int) -> List[int]:
+    """Split a pattern budget across rounds (earlier rounds get the
+    remainder, empty rounds are dropped): sum == budget always."""
+    if budget < 0:
+        raise ValueError("budget must be >= 0")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    rounds = min(rounds, budget) or 0
+    if rounds == 0:
+        return []
+    base, rem = divmod(budget, rounds)
+    return [base + 1] * rem + [base] * (rounds - rem)
+
+
+def adaptive_pattern_search(
+    count: int,
+    n_tasks: int,
+    score_fn: ScoreFn,
+    rngs: Sequence[np.random.Generator],
+    budget: int,
+    config: SearchConfig = SearchConfig(),
+) -> SearchOutcome:
+    """Search ``budget`` patterns per row, adapting proposals between
+    rounds.
+
+    Round 0 samples uniformly (pure exploration); every later round
+    samples each live row's fitted proposal (with the uniform-mixture
+    floor) and refits it on the round's ``elite_frac`` lowest-slack
+    patterns.  A row stops as soon as one of its patterns certifies a
+    miss — its remaining budget is simply not spent (``patterns_used``
+    records the actual spend).
+
+    ``rngs`` supplies one independent generator per row (see module
+    docstring for why per-row streams matter); ``score_fn`` does the
+    mapping + simulation and must return per-pattern ``(slack,
+    schedulable)`` for the live rows it was given.
+    """
+    if len(rngs) != count:
+        raise ValueError(f"need one rng per row: {len(rngs)} != {count}")
+    found = np.zeros(count, dtype=bool)
+    best = np.full(count, np.inf, dtype=np.float64)
+    used = np.zeros(count, dtype=np.int64)
+    if count == 0 or n_tasks == 0 or budget == 0:
+        return SearchOutcome(found, best, used, 0)
+
+    proposal = UnitProposal(count, n_tasks, config)
+    rounds_run = 0
+    for round_idx, patterns in enumerate(round_sizes(budget, config.rounds)):
+        live = np.nonzero(~found)[0]
+        if live.size == 0:
+            break
+        rounds_run += 1
+        u = np.empty((live.size, patterns, n_tasks), dtype=np.float64)
+        for k, row in enumerate(live):
+            u[k] = proposal.sample_row(
+                row, rngs[row], patterns, explore=round_idx == 0
+            )
+        slack, ok = score_fn(live, u)
+        slack = np.asarray(slack, dtype=np.float64)
+        ok = np.asarray(ok, dtype=bool)
+        if slack.shape != (live.size, patterns) or ok.shape != slack.shape:
+            raise ValueError(
+                f"score_fn returned shape {slack.shape}/{ok.shape}, "
+                f"expected {(live.size, patterns)}"
+            )
+        used[live] += patterns
+        best[live] = np.minimum(best[live], slack.min(axis=1))
+        row_found = ~ok.all(axis=1)
+        found[live] |= row_found
+        for k, row in enumerate(live):
+            if not row_found[k]:
+                proposal.refit_row(row, u[k], slack[k])
+    return SearchOutcome(found, best, used, rounds_run)

@@ -1,0 +1,84 @@
+"""Unit-cube -> legal release pattern mappings.
+
+Two pattern families, both parametrized on ``u in [0, 1)`` per (row,
+task) slot:
+
+* **offsets** — ``O_i = u_i * T_i``, always in ``[0, T_i)`` (every
+  assignment is a legal first-release pattern);
+* **sporadic gaps** — ``g_i = T_i * (1 + u_i * jitter)``, always
+  ``>= T_i`` (every schedule respects the minimum inter-arrival).  The
+  adaptive family holds each task's gap constant within a pattern —
+  tasks drift against each other at per-task rates, which is exactly
+  the phase-alignment axis the search exploits — while the *uniform*
+  sporadic search keeps the legacy per-gap jitter sampler, draw order
+  pinned to :func:`repro.sim.sporadic.sample_release_schedule`.
+
+These mappings are deliberately numpy-only (no simulator imports): the
+scalar twins in :mod:`repro.sim.offsets` / :mod:`repro.sim.sporadic`
+share them with the batched drivers of :mod:`repro.search.drivers`
+without creating an import cycle through :mod:`repro.vector`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def offsets_from_unit(period: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Map unit coordinates to release offsets: ``O = u * T``.
+
+    Broadcasts, so ``period`` may be ``(..., N)`` against ``u`` of any
+    compatible shape.  ``u < 1`` guarantees ``O < T`` exactly in
+    float64 (monotonicity of multiplication by a positive float).
+    """
+    return np.asarray(u, dtype=np.float64) * np.asarray(period, dtype=np.float64)
+
+
+def release_times_from_unit(
+    period: np.ndarray,
+    u: np.ndarray,
+    horizon: np.ndarray,
+    max_jitter_factor: float,
+) -> np.ndarray:
+    """Constant-gap sporadic schedules from unit coordinates.
+
+    ``period`` and ``u`` are ``(R, N)``, ``horizon`` is ``(R,)``;
+    returns ``(R, N, K+1)`` ascending release times — first release 0,
+    gap ``T * (1 + u * max_jitter_factor)`` per task, entries at/after
+    the horizon replaced by ``+inf`` with at least one trailing
+    sentinel column — the layout
+    :func:`repro.vector.sim_vec.simulate_batch` replays.
+
+    Releases accumulate *additively* (``r_{k+1} = r_k + g``), matching
+    the scalar sampler's arithmetic, so the gap-vs-deadline validation
+    in the batched simulator holds exactly (``r + g >= r + D`` whenever
+    ``g >= D`` — same left operand, monotone add).
+    """
+    if max_jitter_factor < 0:
+        raise ValueError("max_jitter_factor must be >= 0")
+    period = np.asarray(period, dtype=np.float64)
+    u = np.asarray(u, dtype=np.float64)
+    horizon = np.asarray(horizon, dtype=np.float64)
+    if period.ndim != 2 or u.shape != period.shape:
+        raise ValueError(
+            f"period/u must share shape (R, N), got {period.shape}/{u.shape}"
+        )
+    if np.any(u < 0) or np.any(u >= 1):
+        raise ValueError("unit coordinates must lie in [0, 1)")
+    rows, n = period.shape
+    if rows == 0 or n == 0:
+        return np.full((rows, n, 1), np.inf, dtype=np.float64)
+    if np.any(horizon <= 0):
+        raise ValueError("horizon must be > 0")
+    gap = period * (1.0 + u * max_jitter_factor)  # >= period elementwise
+    releases = int(np.max(np.ceil(horizon[:, None] / gap)))
+    out = np.full((rows, n, releases + 1), np.inf, dtype=np.float64)
+    out[:, :, 0] = 0.0
+    current = np.zeros((rows, n), dtype=np.float64)
+    hz_col = horizon[:, None]
+    for j in range(1, releases + 1):
+        current = current + gap
+        out[:, :, j] = np.where(current < hz_col, current, np.inf)
+    return out
+
+

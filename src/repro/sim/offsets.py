@@ -8,6 +8,22 @@ pattern that misses a deadline proves the taskset unschedulable.  Random
 offset sampling therefore refines the upper bound: the more patterns
 survive, the more credible (but never certain) schedulability is.
 
+Two searches share that soundness argument:
+
+* :func:`simulate_with_offsets` — the uniform search: independent
+  assignments, each task uniform in ``[0, T_i)``;
+* :func:`adaptive_offset_search` — the importance-sampled search: the
+  same budget steered toward low-slack (near-miss) patterns by the
+  cross-entropy machinery of :mod:`repro.search`.  It is the scalar
+  twin of :func:`repro.search.adaptive_offset_search_batch` — same
+  generator, same proposals, same patterns, bit-identical verdicts and
+  slacks.
+
+Both record a best-effort ``min_slack`` on the returned result: the
+minimum near-miss slack over *every* pattern simulated (not just the
+returned run), so callers can rank how close a surviving search came
+to a counterexample even though the search stops at the first failure.
+
 Horizon-extension rule: shifting a task's first release to ``O_i``
 removes jobs from a fixed window — it sees ``floor((H - O_i) / T_i)``
 jobs before ``H`` instead of ``floor(H / T_i)`` — so simulating an
@@ -30,12 +46,35 @@ import numpy as np
 from repro.fpga.device import Fpga
 from repro.model.task import TaskSet
 from repro.sched.base import Scheduler
+from repro.search.adaptive import adaptive_pattern_search
+from repro.search.patterns import offsets_from_unit
+from repro.search.proposal import SearchConfig
 from repro.sim.simulator import SimulationResult, simulate
 
 
 def sample_offsets(taskset: TaskSet, rng: np.random.Generator) -> Dict[str, float]:
     """One random offset assignment: each task uniform in ``[0, T_i)``."""
     return {t.name: float(rng.uniform(0.0, float(t.period))) for t in taskset}
+
+
+def _simulate_pattern(
+    taskset: TaskSet,
+    fpga: Fpga,
+    scheduler: Scheduler,
+    horizon: Real,
+    offsets: Dict[str, float],
+    **simulate_kwargs,
+) -> SimulationResult:
+    """One offset pattern over its extended window (``H + max O_i``);
+    ``default=0.0`` keeps the empty-taskset case from crashing ``max``."""
+    return simulate(
+        taskset,
+        fpga,
+        scheduler,
+        horizon + max(offsets.values(), default=0.0),
+        offsets=offsets,
+        **simulate_kwargs,
+    )
 
 
 def simulate_with_offsets(
@@ -58,26 +97,110 @@ def simulate_with_offsets(
     window is extended by its largest offset (the module's
     horizon-extension rule), so every task sees at least as many
     simulated jobs as the synchronous run would give it.
+
+    The returned result's ``min_slack`` is the best-effort minimum over
+    every pattern simulated before returning — the search-wide near-miss
+    record, not just the returned run's.
+
+    An empty taskset is trivially schedulable under every pattern: the
+    search returns one synchronous run over the unextended window
+    instead of crashing on the empty offset assignment.
     """
     if samples < 0:
         raise ValueError("samples must be >= 0")
+    if len(taskset) == 0:
+        # Every "pattern" of an empty set is the empty pattern; one run
+        # certifies them all (and max() over no offsets never happens).
+        return simulate(taskset, fpga, scheduler, horizon, **simulate_kwargs)
     assignments = []
     if include_synchronous:
         assignments.append({t.name: 0.0 for t in taskset})
     assignments.extend(sample_offsets(taskset, rng) for _ in range(samples))
     if not assignments:
         raise ValueError("nothing to simulate: no offsets requested")
+    best_slack: Real = float("inf")
     result: Optional[SimulationResult] = None
     for offsets in assignments:
-        result = simulate(
-            taskset,
-            fpga,
-            scheduler,
-            horizon + max(offsets.values()),
-            offsets=offsets,
-            **simulate_kwargs,
+        result = _simulate_pattern(
+            taskset, fpga, scheduler, horizon, offsets, **simulate_kwargs
         )
+        if result.min_slack < best_slack:
+            best_slack = result.min_slack
+        if not result.schedulable:
+            break
+    assert result is not None
+    result.min_slack = best_slack
+    return result
+
+
+def adaptive_offset_search(
+    taskset: TaskSet,
+    fpga: Fpga,
+    scheduler: Scheduler,
+    horizon: Real,
+    rng: np.random.Generator,
+    budget: int = 20,
+    config: SearchConfig = SearchConfig(),
+    include_synchronous: bool = True,
+    **simulate_kwargs,
+) -> SimulationResult:
+    """Importance-sampled offset search (scalar twin of the batched
+    :func:`repro.search.adaptive_offset_search_batch`).
+
+    Spends ``budget`` patterns steered by the cross-entropy loop of
+    :mod:`repro.search`: round 0 explores uniformly, later rounds sample
+    per-task proposals refit on the lowest-slack patterns.  Every sample
+    stays a legal offset assignment (``u * T_i in [0, T_i)``), so a
+    found miss certifies unschedulability exactly as in the uniform
+    search; ``include_synchronous`` prepends the all-zero pattern
+    (checked first, outside the budget).
+
+    Returns the first failing run or the last passing one, with
+    ``min_slack`` recording the search-wide best effort.  With the same
+    ``rng`` stream as row ``b`` of the batched driver (``rngs[b]``),
+    the sampled patterns — and hence verdicts and slacks — are
+    bit-identical.
+    """
+    if budget < 0:
+        raise ValueError("budget must be >= 0")
+    if len(taskset) == 0:
+        return simulate(taskset, fpga, scheduler, horizon, **simulate_kwargs)
+    best_slack: Real = float("inf")
+    result: Optional[SimulationResult] = None
+    if include_synchronous:
+        result = _simulate_pattern(
+            taskset, fpga, scheduler, horizon,
+            {t.name: 0.0 for t in taskset}, **simulate_kwargs,
+        )
+        best_slack = result.min_slack
         if not result.schedulable:
             return result
+    if budget == 0 and result is None:
+        raise ValueError("nothing to simulate: no offsets requested")
+
+    names = [t.name for t in taskset]
+    periods = np.array([float(t.period) for t in taskset], dtype=np.float64)
+
+    def score(live: np.ndarray, u: np.ndarray):
+        nonlocal best_slack, result
+        _, patterns, _ = u.shape
+        offs = offsets_from_unit(periods[None, None, :], u)[0]
+        slack = np.empty((1, patterns), dtype=np.float64)
+        ok = np.empty((1, patterns), dtype=bool)
+        for p in range(patterns):
+            assignment = {name: float(offs[p, j]) for j, name in enumerate(names)}
+            res = _simulate_pattern(
+                taskset, fpga, scheduler, horizon, assignment, **simulate_kwargs
+            )
+            slack[0, p] = res.min_slack
+            ok[0, p] = res.schedulable
+            if result is None or result.schedulable:
+                result = res
+            if res.min_slack < best_slack:
+                best_slack = res.min_slack
+        return slack, ok
+
+    adaptive_pattern_search(1, len(taskset), score, [rng], budget, config)
     assert result is not None
+    result.min_slack = best_slack
     return result

@@ -79,12 +79,23 @@ class SimulationConfig:
 
 @dataclass
 class SimulationResult:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run.
+
+    ``min_slack`` is the run's near-miss metric: the minimum over every
+    decided job of ``deadline - completion_time`` (completions) and
+    ``-remaining`` (misses) — ``+inf`` when no job was decided, negative
+    iff a deadline was missed.  The release-pattern searches
+    (:mod:`repro.sim.offsets`, :mod:`repro.sim.sporadic`,
+    :mod:`repro.search`) use it to rank how close a surviving pattern
+    came to a miss; on float inputs it matches the batched simulator's
+    :attr:`repro.vector.sim_vec.SimBatchResult.min_slack` bit-exactly.
+    """
 
     schedulable: bool
     misses: List[DeadlineMiss]
     metrics: SimMetrics
     trace: Optional[Trace] = None
+    min_slack: Real = float("inf")
 
     def __bool__(self) -> bool:
         return self.schedulable
@@ -171,6 +182,7 @@ def simulate(
     metrics = SimMetrics()
     trace = Trace(capacity) if record_trace else None
     misses: List[DeadlineMiss] = []
+    min_slack: Real = float("inf")
 
     def release_due(now: Real) -> None:
         for name, task in tasks_by_name.items():
@@ -300,6 +312,9 @@ def simulate(
         ]
         for job in done:
             jid = _job_id(job)
+            slack = job.absolute_deadline - now
+            if slack < min_slack:
+                min_slack = slack
             active.remove(job)
             running_ids.discard(jid)
             metrics.jobs_completed += 1
@@ -315,6 +330,9 @@ def simulate(
                 continue
             if job.absolute_deadline <= now + eps and job.remaining > eps:
                 missed.add(jid)
+                slack = -job.remaining
+                if slack < min_slack:
+                    min_slack = slack
                 metrics.deadline_misses += 1
                 misses.append(
                     DeadlineMiss(
@@ -337,6 +355,7 @@ def simulate(
         misses=misses,
         metrics=metrics,
         trace=trace,
+        min_slack=min_slack,
     )
 
 

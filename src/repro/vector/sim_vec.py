@@ -127,12 +127,22 @@ class SimBatchResult:
     placement is moot); ``release`` records the release pattern
     (``"periodic"`` covers both synchronous and offset runs,
     ``"sporadic"`` the jittered schedules).
+
+    ``min_slack`` is the row's near-miss metric: the minimum over every
+    decided job of ``deadline - completion_time`` (completions) and
+    ``-remaining`` (deadline misses), i.e. how close the row came to a
+    miss — ``+inf`` when no job was decided, negative iff the row
+    missed.  It is the scoring channel of the adaptive release-pattern
+    search (:mod:`repro.search`) and matches the scalar
+    :attr:`repro.sim.simulator.SimulationResult.min_slack` bit-exactly
+    (same operands, same order) on the numpy and torch-CPU backends.
     """
 
     schedulable: "hnp.ndarray"  # (B,) bool
     budget_exceeded: "hnp.ndarray"  # (B,) bool
     events: "hnp.ndarray"  # (B,) int64 — event-loop iterations per row
     horizon: "hnp.ndarray"  # (B,) float64
+    min_slack: "hnp.ndarray"  # (B,) float64 — see below
     mode: MigrationMode = MigrationMode.FREE
     policy: Optional[PlacementPolicy] = None
     release: str = "periodic"
@@ -211,6 +221,12 @@ def default_horizon_batch(
     if factor < 1:
         raise ValueError("factor must be >= 1")
     ns = xp.namespace_of(batch.deadline)
+    if batch.n_tasks == 0:
+        # Mirror of the scalar empty-taskset guard in
+        # :func:`repro.sim.offsets.simulate_with_offsets`: an empty row
+        # releases no jobs, so any window (trivially 0) verifies it —
+        # the max() reductions below would raise on the empty task axis.
+        return ns.zeros((batch.count,), dtype=ns.float64)
     deadline = ns.asarray(batch.deadline, dtype=ns.float64)  # pin: float32
     period = ns.asarray(batch.period, dtype=ns.float64)  # inputs upcast exactly
     base = ns.max(deadline, axis=1) + factor * ns.max(period, axis=1)
@@ -572,6 +588,7 @@ def simulate_batch(
     out_ok = hnp.ones(B, dtype=bool)
     out_exceeded = hnp.zeros(B, dtype=bool)
     out_events = hnp.zeros(B, dtype=hnp.int64)
+    out_slack = hnp.full(B, hnp.inf, dtype=hnp.float64)
 
     if B == 0:
         return SimBatchResult(
@@ -579,6 +596,7 @@ def simulate_batch(
             budget_exceeded=out_exceeded,
             events=out_events,
             horizon=hnp.zeros(0, dtype=hnp.float64),
+            min_slack=out_slack,
             mode=mode,
             policy=result_policy,
             release=release,
@@ -632,6 +650,9 @@ def simulate_batch(
         )
         next_rel = ns.where(first < hz[:, None], first, INF)
     now = ns.zeros((B,), dtype=ns.float64)
+    # Per-row running minimum of the near-miss metric: deadline minus
+    # completion time on completions, -remaining on misses.
+    slack_min = ns.full((B,), INF, dtype=ns.float64)
     # Every live row steps one event per loop iteration, so a single
     # scalar counter tracks each row's event count.
     iteration = 0
@@ -656,8 +677,9 @@ def simulate_batch(
     def compact(keep, keep_host: "hnp.ndarray") -> None:
         nonlocal idx, wcet, period, deadline, area, hz, rows
         nonlocal remaining, rel, abs_dl, area_m, next_rel, now, area_i, pos, pin
-        nonlocal release_times, rel_ptr
+        nonlocal release_times, rel_ptr, slack_min
         idx = idx[keep_host]
+        slack_min = slack_min[keep]
         wcet, period, deadline, area = (
             wcet[keep], period[keep], deadline[keep], area[keep],
         )
@@ -709,6 +731,7 @@ def simulate_batch(
             out_ok[idx] = False
             out_exceeded[idx] = True
             out_events[idx] = iteration
+            out_slack[idx] = ns.asnumpy(slack_min)
             break
         M = idx.shape[0]
 
@@ -764,6 +787,13 @@ def simulate_batch(
         # -- completions first (finishing exactly at the deadline succeeds).
         completed = running & (remaining <= eps)
         if ns.any(completed):
+            # Slack channel: deadline minus completion time, recorded
+            # before the slot is cleared (same subtraction as the scalar
+            # simulator's per-completion slack).
+            slack_min = ns.minimum(
+                slack_min,
+                ns.min(ns.where(completed, abs_dl - now_col, INF), axis=1),
+            )
             abs_dl = ns.where(completed, INF, abs_dl)
             area_m = ns.where(completed, INF, area_m)
             if use_placement:
@@ -777,12 +807,19 @@ def simulate_batch(
         #    deadlines and can never register here).
         miss = (abs_dl <= now_eps) & (remaining > eps)
         row_miss = ns.any(miss, axis=1)
+        if ns.any(row_miss):
+            # Tardiness-proximity: a missing job contributes -remaining
+            # (matches the scalar DeadlineMiss.remaining, negated).
+            slack_min = ns.minimum(
+                slack_min, ns.min(ns.where(miss, -remaining, INF), axis=1)
+            )
         done = row_miss | (now >= hz - eps)
         if ns.any(done):
             done_h = ns.asnumpy(done)
             decided = idx[done_h]
             out_ok[decided] = ~ns.asnumpy(row_miss)[done_h]
             out_events[decided] = iteration
+            out_slack[decided] = ns.asnumpy(slack_min)[done_h]
             compact(~done, ~done_h)
             if not idx.shape[0]:
                 break
@@ -795,6 +832,7 @@ def simulate_batch(
         budget_exceeded=out_exceeded,
         events=out_events,
         horizon=hz_out,
+        min_slack=out_slack,
         mode=mode,
         policy=result_policy,
         release=release,
