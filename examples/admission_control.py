@@ -8,78 +8,173 @@ hardware task ``(C, D, T, A)``.  The admission controller must answer
 *now*, without simulating: it accepts a task iff the already-admitted set
 plus the newcomer still passes a schedulability bound.
 
-This demo replays a randomized arrival/departure workload and compares
-admission throughput of the three bounds and of the paper-recommended
-portfolio (accept if ANY bound accepts) — showing why portfolios matter
-in practice.
+This demo replays a randomized arrival/departure workload through the
+**incremental** engine (:class:`repro.incremental.AdmissionState`): each
+decision reuses the cached interference aggregates of the resident set
+instead of recomputing the O(N²)/O(N³) sums from scratch, and a
+:class:`repro.core.sensitivity.DeltaCertifier` answers the provably-easy
+deltas (departures under a DP/GN1 acceptance, arrivals fitting inside the
+cached DP slack) in O(1) without any rerun.  Decisions are bit-identical
+to the from-scratch tests either way — pass ``--from-scratch`` to replay
+both paths and assert it.
 
-Run: ``python examples/admission_control.py``
+Run: ``python examples/admission_control.py [--from-scratch]``
 """
 
-from typing import Callable, List
+import argparse
+from typing import List, Optional
 
 from repro import Fpga, Task, TaskSet
 from repro.core import SchedulerKind, dp_test, gn1_test, gn2_test, paper_portfolio
+from repro.core.sensitivity import DeltaCertifier
 from repro.gen.profiles import GenerationProfile
 from repro.gen.random_tasksets import generate_taskset
+from repro.incremental import AdmissionState
 from repro.util.rngutil import rng_from_seed
 
+#: Tests an AdmissionState tracks, plus the §6 portfolio.
+POLICIES = ("DP", "GN1", "GN2", "portfolio")
 
-def replay(
+
+def replay_incremental(
     arrivals: List[Task],
     fpga: Fpga,
-    admit: Callable[[TaskSet, Fpga], object],
+    policy: str,
     departure_every: int = 4,
+    certifier: Optional[DeltaCertifier] = None,
 ) -> dict:
-    """Feed arrivals through one admission policy; every ``departure_every``
-    arrivals the oldest admitted task departs (service teardown)."""
-    admitted: List[Task] = []
+    """Feed arrivals through one admission policy on the incremental
+    engine; every ``departure_every`` arrivals the oldest admitted task
+    departs (service teardown).  Returns the decision sequence plus stats.
+
+    With a ``certifier``, each trial add / departure is first offered to
+    the O(1) delta-certificate fast path; only uncertified deltas rerun
+    the (incremental) exact test.
+    """
+    state = AdmissionState(fpga)
+    scheduler = SchedulerKind.EDF_NF
+
+    def portfolio_ok() -> bool:
+        if policy == "portfolio":
+            return state.portfolio_accepts(scheduler)
+        return state.accepts(policy)
+
+    if certifier is not None:
+        certifier.refresh(state, scheduler)
+    decisions: List[bool] = []
     accepted = rejected = 0
     peak_us = 0.0
+    admitted_order: List[str] = []
     for idx, task in enumerate(arrivals):
-        candidate = TaskSet(admitted + [task])
-        if admit(candidate, fpga).accepted:
-            admitted.append(task)
+        verdict: Optional[bool] = None
+        if certifier is not None and policy == "portfolio":
+            verdict = certifier.certify_add(task)
+        if verdict is None:
+            state.add(task)
+            ok = portfolio_ok()
+            if not ok:
+                state.remove(task.name)
+            if certifier is not None:
+                certifier.refresh(state, scheduler)
+        else:
+            ok = verdict
+            if ok:
+                state.add(task)  # certificate: no rerun needed
+        decisions.append(ok)
+        if ok:
+            admitted_order.append(task.name)
             accepted += 1
-            peak_us = max(peak_us, float(candidate.system_utilization))
+            peak_us = max(peak_us, float(TaskSet(state.tasks).system_utilization))
         else:
             rejected += 1
-        if departure_every and (idx + 1) % departure_every == 0 and admitted:
-            admitted.pop(0)
+        if departure_every and (idx + 1) % departure_every == 0 and admitted_order:
+            victim = admitted_order.pop(0)
+            certified = (
+                certifier.certify_remove(victim)
+                if certifier is not None and policy == "portfolio"
+                else None
+            )
+            state.remove(victim)
+            if certifier is not None and certified is None:
+                certifier.refresh(state, scheduler)
     return {
         "accepted": accepted,
         "rejected": rejected,
-        "resident": len(admitted),
+        "resident": len(state),
         "peak_US": peak_us,
+        "decisions": decisions,
     }
 
 
+def replay_from_scratch(
+    arrivals: List[Task],
+    fpga: Fpga,
+    policy: str,
+    departure_every: int = 4,
+) -> List[bool]:
+    """Reference replay: every decision runs the scalar test from scratch."""
+    tests = {
+        "DP": dp_test,
+        "GN1": gn1_test,
+        "GN2": gn2_test,
+        "portfolio": paper_portfolio(SchedulerKind.EDF_NF),
+    }
+    test = tests[policy]
+    admitted: List[Task] = []
+    decisions: List[bool] = []
+    for idx, task in enumerate(arrivals):
+        candidate = TaskSet(admitted + [task])
+        ok = bool(test(candidate, fpga).accepted)
+        decisions.append(ok)
+        if ok:
+            admitted.append(task)
+        if departure_every and (idx + 1) % departure_every == 0 and admitted:
+            admitted.pop(0)
+    return decisions
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--from-scratch",
+        action="store_true",
+        help="also replay every policy with from-scratch scalar tests and "
+        "assert the accept/reject sequences are identical",
+    )
+    parser.add_argument("--arrivals", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=2024)
+    args = parser.parse_args()
+
     fpga = Fpga(width=100)
     profile = GenerationProfile(
         n_tasks=1, area_min=5, area_max=45,
         period_min=5, period_max=20, util_min=0.05, util_max=0.5,
         name="service-requests",
     )
-    rng = rng_from_seed(2024)
+    rng = rng_from_seed(args.seed)
     arrivals = [generate_taskset(profile, rng, name_prefix=f"svc{i}_")[0]
-                for i in range(120)]
-
-    policies = [
-        ("DP", dp_test),
-        ("GN1", gn1_test),
-        ("GN2", gn2_test),
-        ("portfolio", paper_portfolio(SchedulerKind.EDF_NF)),
-    ]
+                for i in range(args.arrivals)]
 
     print(f"{len(arrivals)} service requests against a "
-          f"{fpga.width}-column device\n")
+          f"{fpga.width}-column device (incremental engine)\n")
     print(f"{'policy':<10} {'accepted':>9} {'rejected':>9} "
-          f"{'resident':>9} {'peak US':>9}")
-    for name, policy in policies:
-        stats = replay(arrivals, fpga, policy)
-        print(f"{name:<10} {stats['accepted']:>9} {stats['rejected']:>9} "
-              f"{stats['resident']:>9} {stats['peak_US']:>9.1f}")
+          f"{'resident':>9} {'peak US':>9} {'O(1) certs':>11}")
+    for policy in POLICIES:
+        certifier = DeltaCertifier() if policy == "portfolio" else None
+        stats = replay_incremental(arrivals, fpga, policy, certifier=certifier)
+        cert_note = (
+            f"{certifier.hit_rate:>10.0%}" if certifier is not None else f"{'—':>10}"
+        )
+        print(f"{policy:<10} {stats['accepted']:>9} {stats['rejected']:>9} "
+              f"{stats['resident']:>9} {stats['peak_US']:>9.1f} {cert_note}")
+        if args.from_scratch:
+            reference = replay_from_scratch(arrivals, fpga, policy)
+            assert stats["decisions"] == reference, (
+                f"{policy}: incremental decisions diverged from from-scratch"
+            )
+    if args.from_scratch:
+        print("\ncross-check: all incremental decision sequences identical "
+              "to from-scratch replays")
 
     print(
         "\nThe portfolio admits at least as many services as any single "

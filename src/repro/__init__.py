@@ -19,6 +19,10 @@ This package provides:
   offset/sporadic release patterns) that lets the acceptance experiments
   simulate whole buckets — and whole pattern searches — instead of
   subsamples.
+* :mod:`repro.incremental` — stateful admission analysis under taskset
+  churn: per-test caches updated in O(changed·N) per add/remove/update,
+  verdicts bit-identical to the scalar tests, plus batched re-verdicting
+  on the vector kernels.
 * :mod:`repro.experiments` — runners regenerating every table and figure.
 
 Quickstart::

@@ -18,6 +18,8 @@ from repro.core.interfaces import (
     PerTaskVerdict,
     TestResult,
     SchedulabilityTest,
+    IncrementalAnalyzer,
+    empty_taskset_result,
     necessary_conditions,
 )
 from repro.core.alpha import (
@@ -31,6 +33,8 @@ from repro.core.workload import (
     gn1_beta,
     gn2_beta,
     gn2_lambda_candidates,
+    gn2_lambda_candidates_from_values,
+    lambda_candidate_values,
 )
 from repro.core.dp import AreaModel, dp_test, DpTest
 from repro.core.gn1 import Gn1Variant, gn1_test, Gn1Test
@@ -38,6 +42,7 @@ from repro.core.gn2 import gn2_test, Gn2Test
 from repro.core.composite import CompositeTest, composite_test, paper_portfolio
 from repro.core.explain import explain, explain_dp, explain_gn1, explain_gn2
 from repro.core.sensitivity import (
+    DeltaCertifier,
     acceptance_margin,
     critical_scaling,
     minimum_width,
@@ -48,6 +53,8 @@ __all__ = [
     "PerTaskVerdict",
     "TestResult",
     "SchedulabilityTest",
+    "IncrementalAnalyzer",
+    "empty_taskset_result",
     "necessary_conditions",
     "global_alpha_fkf",
     "global_alpha_fkf_real_areas",
@@ -57,6 +64,8 @@ __all__ = [
     "gn1_beta",
     "gn2_beta",
     "gn2_lambda_candidates",
+    "gn2_lambda_candidates_from_values",
+    "lambda_candidate_values",
     "AreaModel",
     "dp_test",
     "DpTest",
@@ -72,6 +81,7 @@ __all__ = [
     "explain_dp",
     "explain_gn1",
     "explain_gn2",
+    "DeltaCertifier",
     "acceptance_margin",
     "critical_scaling",
     "minimum_width",

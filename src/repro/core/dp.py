@@ -51,35 +51,49 @@ class DpTest:
     def name(self) -> str:
         return "DP" if self.area_model is AreaModel.INTEGER else "DP-real"
 
+    @property
+    def detail(self) -> str:
+        """The bound comparison recorded on every per-task verdict."""
+        return (
+            f"US(Γ) <= (A(H)-Amax{'+1' if self.area_model is AreaModel.INTEGER else ''})"
+            f"(1-UT(τk)) + US(τk)"
+        )
+
+    # -- cache-aware entry points (repro.incremental) -------------------------
+
+    def busy_bound(self, capacity, amax):
+        """``Abnd``: the guaranteed-busy area for a cached ``Amax``."""
+        if self.area_model is AreaModel.INTEGER:
+            return capacity - amax + 1
+        return capacity - amax
+
+    def task_verdict(self, task, abnd, us_total, *, ut=None, us=None) -> PerTaskVerdict:
+        """One task's Theorem 1 check from precomputed aggregates.
+
+        ``ut``/``us`` allow a caller with cached per-task utilizations to
+        skip the divisions; the arithmetic is identical either way.
+        """
+        if ut is None:
+            ut = task.time_utilization
+        if us is None:
+            us = task.system_utilization
+        rhs = abnd * (1 - ut) + us
+        return PerTaskVerdict(task.name, us_total <= rhs, us_total, rhs, self.detail)
+
     def __call__(self, taskset: TaskSet, fpga: Fpga) -> TestResult:
         nec = necessary_conditions(taskset, fpga)
         if not nec.accepted:
             return TestResult(
                 self.name, False, self.schedulers, nec.per_task, nec.reason
             )
-        area = fpga.capacity
-        amax = taskset.max_area
-        if self.area_model is AreaModel.INTEGER:
-            abnd = area - amax + 1
-        else:
-            abnd = area - amax
+        abnd = self.busy_bound(fpga.capacity, taskset.max_area)
         us_total = taskset.system_utilization
         verdicts = []
         accepted = True
         for t in taskset:
-            rhs = abnd * (1 - t.time_utilization) + t.system_utilization
-            ok = us_total <= rhs
-            accepted &= ok
-            verdicts.append(
-                PerTaskVerdict(
-                    t.name,
-                    ok,
-                    us_total,
-                    rhs,
-                    f"US(Γ) <= (A(H)-Amax{'+1' if self.area_model is AreaModel.INTEGER else ''})"
-                    f"(1-UT(τk)) + US(τk)",
-                )
-            )
+            v = self.task_verdict(t, abnd, us_total)
+            accepted &= v.passed
+            verdicts.append(v)
         return TestResult(self.name, accepted, self.schedulers, tuple(verdicts))
 
 

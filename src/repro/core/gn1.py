@@ -56,6 +56,11 @@ class Gn1Variant(enum.Enum):
     BCL_WINDOW = "bcl-window"
 
 
+#: Per-task verdict detail recorded by :meth:`Gn1Test.__call__` (shared
+#: with the incremental analyzer so replayed verdicts compare equal).
+GN1_DETAIL = "Σ_{i≠k} A_i·min(β_i, 1-C_k/D_k) < Bound_k·(1-C_k/D_k)"
+
+
 @dataclass(frozen=True)
 class Gn1Test:
     """Configurable GN1 instance; the default follows the worked examples."""
@@ -75,6 +80,35 @@ class Gn1Test:
             return area - a_k
         return area - a_k + 1
 
+    # -- cache-aware entry points (repro.incremental) -------------------------
+
+    def slack_rate(self, task_k: Task) -> Real:
+        """``1 - C_k/D_k`` — the per-task interference budget rate."""
+        return 1 - exact_div(task_k.wcet, task_k.deadline)
+
+    def pair_term(
+        self, task_i: Task, task_k: Task, slack_rate: Real | None = None
+    ) -> Tuple[Real, Real]:
+        """``(β_i, A_i·min(β_i, 1-C_k/D_k))`` for one interfering pair.
+
+        The second element is exactly one addend of Theorem 2's LHS, so a
+        caller caching these terms per (i, k) pair and re-summing them in
+        task order reproduces :meth:`check_task`'s ``lhs`` bit-for-bit.
+        """
+        if slack_rate is None:
+            slack_rate = self.slack_rate(task_k)
+        beta = gn1_beta(
+            task_i, task_k, window_denominator=self.variant is Gn1Variant.BCL_WINDOW
+        )
+        contrib = beta if beta < slack_rate else slack_rate
+        return beta, task_i.area * contrib
+
+    def task_rhs(self, task_k: Task, capacity: Real, slack_rate: Real | None = None) -> Real:
+        """Theorem 2's RHS ``Bound_k · (1 - C_k/D_k)`` for one task."""
+        if slack_rate is None:
+            slack_rate = self.slack_rate(task_k)
+        return self._bound_coefficient(capacity, task_k.area) * slack_rate
+
     def check_task(
         self, taskset: TaskSet, fpga: Fpga, k: int
     ) -> Tuple[bool, Real, Real, List[Tuple[str, Real]]]:
@@ -85,18 +119,16 @@ class Gn1Test:
         decomposition.
         """
         task_k = taskset[k]
-        slack_rate = 1 - exact_div(task_k.wcet, task_k.deadline)  # 1 - C_k/D_k
-        window_den = self.variant is Gn1Variant.BCL_WINDOW
+        slack_rate = self.slack_rate(task_k)
         lhs: Real = 0
         betas: List[Tuple[str, Real]] = []
         for i, task_i in enumerate(taskset):
             if i == k:
                 continue
-            beta = gn1_beta(task_i, task_k, window_denominator=window_den)
+            beta, term = self.pair_term(task_i, task_k, slack_rate)
             betas.append((task_i.name, beta))
-            contrib = beta if beta < slack_rate else slack_rate
-            lhs += task_i.area * contrib
-        rhs = self._bound_coefficient(fpga.capacity, task_k.area) * slack_rate
+            lhs += term
+        rhs = self.task_rhs(task_k, fpga.capacity, slack_rate)
         return lhs < rhs, lhs, rhs, betas
 
     def __call__(self, taskset: TaskSet, fpga: Fpga) -> TestResult:
@@ -108,15 +140,7 @@ class Gn1Test:
         for k in range(len(taskset)):
             ok, lhs, rhs, _ = self.check_task(taskset, fpga, k)
             accepted &= ok
-            verdicts.append(
-                PerTaskVerdict(
-                    taskset[k].name,
-                    ok,
-                    lhs,
-                    rhs,
-                    "Σ_{i≠k} A_i·min(β_i, 1-C_k/D_k) < Bound_k·(1-C_k/D_k)",
-                )
-            )
+            verdicts.append(PerTaskVerdict(taskset[k].name, ok, lhs, rhs, GN1_DETAIL))
         return TestResult(self.name, accepted, self.schedulers, tuple(verdicts))
 
     # -- introspection (Fig. 2 of the paper) ---------------------------------

@@ -51,6 +51,14 @@ class LambdaWitness(NamedTuple):
     condition: int  # 1 or 2
 
 
+def witness_detail(witness: Optional[LambdaWitness]) -> str:
+    """The per-task verdict detail :meth:`Gn2Test.__call__` records (shared
+    with the incremental analyzer so replayed verdicts compare equal)."""
+    if witness is None:
+        return "no λ candidate satisfies condition 1 or 2"
+    return f"certified by λ={witness.lam} via condition {witness.condition}"
+
+
 @dataclass(frozen=True)
 class Gn2Test:
     """Configurable GN2 instance (Theorem 3)."""
@@ -71,6 +79,55 @@ class Gn2Test:
 
     # -- per-task search ------------------------------------------------------
 
+    @staticmethod
+    def lam_scale(task_k) -> Real:
+        """``max(1, T_k/D_k)`` — the λ → λ_k conversion factor."""
+        t_over_d = exact_div(task_k.period, task_k.deadline)
+        return t_over_d if t_over_d > 1 else 1
+
+    @staticmethod
+    def lam_slack(lam: Real, lam_scale: Real) -> Real:
+        """``1 - λ_k`` with ``λ_k = λ · max(1, T_k/D_k)``."""
+        lam_k = lam * lam_scale
+        return 1 - lam_k
+
+    @staticmethod
+    def pair_terms(task_i, beta: Real, one_minus: Real) -> tuple:
+        """The two clamped addends of Theorem 3's conditions for one
+        interfering task: ``A_i·min(β, 1-λ_k)`` and ``A_i·min(β, 1)``.
+
+        Shared by :meth:`find_witness` (computed fresh per candidate) and
+        the incremental analyzer (cached per ``(k, λ)`` row) — the same
+        product in the same form, so replayed sums are bit-equal.
+        """
+        area = task_i.area
+        return (
+            area * (beta if beta < one_minus else one_minus),
+            area * (beta if beta < 1 else 1),
+        )
+
+    def check_lambda(
+        self, one_minus: Real, abnd: Real, amin: Real, terms
+    ) -> Optional[int]:
+        """Evaluate Theorem 3's two conditions for one λ candidate.
+
+        ``terms`` supplies the :meth:`pair_terms` pairs in task order; the
+        left-to-right accumulation is identical for the scalar and the
+        incremental caller, so verdicts are bit-equal.  Returns the
+        certifying condition number (1 or 2) or ``None``.
+        """
+        lhs1: Real = 0
+        lhs2: Real = 0
+        for term1, term2 in terms:
+            lhs1 += term1
+            lhs2 += term2
+        if lhs1 < abnd * one_minus:
+            return 1
+        rhs2 = (abnd - amin) * one_minus + amin
+        if (lhs2 < rhs2) or (not self.strict_condition2 and lhs2 == rhs2):
+            return 2
+        return None
+
     def find_witness(
         self, taskset: TaskSet, fpga: Fpga, k: int
     ) -> Optional[LambdaWitness]:
@@ -80,26 +137,23 @@ class Gn2Test:
         candidate fails both conditions.
         """
         task_k = taskset[k]
-        area = fpga.capacity
-        amax = taskset.max_area
+        abnd = fpga.capacity - taskset.max_area + 1
         amin = taskset.min_area
-        abnd = area - amax + 1
-        t_over_d = exact_div(task_k.period, task_k.deadline)
-        lam_scale = t_over_d if t_over_d > 1 else 1
+        lam_scale = self.lam_scale(task_k)
+        literal = self.literal_case2
         for lam in gn2_lambda_candidates(taskset, task_k):
-            lam_k = lam * lam_scale
-            one_minus = 1 - lam_k
-            lhs1: Real = 0
-            lhs2: Real = 0
-            for task_i in taskset:
-                beta = gn2_beta(task_i, task_k, lam, literal_case2=self.literal_case2)
-                lhs1 += task_i.area * (beta if beta < one_minus else one_minus)
-                lhs2 += task_i.area * (beta if beta < 1 else 1)
-            if lhs1 < abnd * one_minus:
-                return LambdaWitness(lam, 1)
-            rhs2 = (abnd - amin) * one_minus + amin
-            if (lhs2 < rhs2) or (not self.strict_condition2 and lhs2 == rhs2):
-                return LambdaWitness(lam, 2)
+            one_minus = self.lam_slack(lam, lam_scale)
+            terms = [
+                self.pair_terms(
+                    task_i,
+                    gn2_beta(task_i, task_k, lam, literal_case2=literal),
+                    one_minus,
+                )
+                for task_i in taskset
+            ]
+            condition = self.check_lambda(one_minus, abnd, amin, terms)
+            if condition is not None:
+                return LambdaWitness(lam, condition)
         return None
 
     def __call__(self, taskset: TaskSet, fpga: Fpga) -> TestResult:
@@ -112,12 +166,7 @@ class Gn2Test:
             witness = self.find_witness(taskset, fpga, k)
             ok = witness is not None
             accepted &= ok
-            detail = (
-                f"certified by λ={witness.lam} via condition {witness.condition}"
-                if witness
-                else "no λ candidate satisfies condition 1 or 2"
-            )
-            verdicts.append(PerTaskVerdict(task_k.name, ok, detail=detail))
+            verdicts.append(PerTaskVerdict(task_k.name, ok, detail=witness_detail(witness)))
         return TestResult(self.name, accepted, self.schedulers, tuple(verdicts))
 
 

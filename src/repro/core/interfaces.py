@@ -15,7 +15,7 @@ from numbers import Real
 from typing import Mapping, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.fpga.device import Fpga
-from repro.model.task import TaskSet
+from repro.model.task import Task, TaskSet
 
 
 class SchedulerKind(enum.Enum):
@@ -78,6 +78,45 @@ class SchedulabilityTest(Protocol):
     schedulers: frozenset[SchedulerKind]
 
     def __call__(self, taskset: TaskSet, fpga: Fpga) -> TestResult: ...
+
+
+@runtime_checkable
+class IncrementalAnalyzer(Protocol):
+    """A stateful analyzer tracking one test over a churning taskset.
+
+    Implementations (see :mod:`repro.incremental`) cache the test's
+    expensive aggregates and update them in ``O(changed task · N)`` per
+    churn operation, while :meth:`result` stays **bit-identical** to
+    running ``test(TaskSet(tasks), fpga)`` from scratch on the current
+    resident tasks (the churn-parity suite asserts this at every step).
+    """
+
+    test: SchedulabilityTest
+
+    def refresh(self, tasks: Sequence[Task]) -> None:
+        """Synchronize caches with the current resident task list."""
+        ...
+
+    def result(self) -> TestResult:
+        """The test's verdict on the current resident taskset."""
+        ...
+
+
+def empty_taskset_result(test_name: str, schedulers: frozenset[SchedulerKind]) -> TestResult:
+    """The defined verdict for an *empty* resident set: vacuous acceptance.
+
+    :class:`~repro.model.task.TaskSet` itself rejects empty sets (the
+    scalar tests are never called on one), but an admission state drained
+    by departures legitimately holds zero tasks — an empty device
+    trivially meets every deadline, so incremental analyzers answer with
+    this constant instead of erroring.
+    """
+    return TestResult(
+        test_name=test_name,
+        accepted=True,
+        schedulers=schedulers,
+        reason="empty taskset: vacuously schedulable",
+    )
 
 
 def necessary_conditions(taskset: TaskSet, fpga: Fpga) -> TestResult:

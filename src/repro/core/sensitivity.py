@@ -19,10 +19,11 @@ from __future__ import annotations
 
 from fractions import Fraction
 from numbers import Real
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
+from repro.core.interfaces import SchedulerKind
 from repro.fpga.device import Fpga
-from repro.model.task import TaskSet
+from repro.model.task import Task, TaskSet
 
 #: Any accept/reject predicate over (taskset, fpga).
 Test = Callable[[TaskSet, Fpga], object]
@@ -101,3 +102,209 @@ def acceptance_margin(
     """``critical_scaling - 1``: positive = headroom, negative = deficit."""
     s = critical_scaling(taskset, fpga, test, precision)
     return None if s is None else s - 1
+
+
+class DeltaCertifier:
+    """O(1) delta-certificates: "still portfolio-schedulable after this Δ?"
+
+    An admission controller rarely needs a fresh verdict — most churn
+    operations leave obvious slack.  The certifier caches the current
+    exact portfolio verdict (from an
+    :class:`~repro.incremental.state.AdmissionState`, whose verdicts are
+    bit-identical to the scalar tests) plus DP's acceptance slack
+    ``min_k (RHS_k - US(Γ))``, and answers each ``certify_*`` query in
+    O(1) **only when monotonicity makes the answer provable**:
+
+    * ``certify_remove`` — DP and GN1 acceptances are preserved under task
+      removal (``US`` and every GN1 interference sum only shrink; the
+      busy bounds only grow), so an accept *via DP or GN1* survives any
+      departure.  GN2's bound moves both ways (``Amin`` may grow), so a
+      GN2-only accept is never certified.
+    * ``certify_add`` — a DP acceptance survives an arrival whose area
+      keeps ``Amax`` (hence ``Abnd``) unchanged and whose system
+      utilization fits inside the cached slack; the newcomer's own
+      inequality and the necessary conditions are checked directly.
+      Certified adds *consume* the cached slack, so a burst of arrivals
+      self-limits and falls back to the exact test when margin runs out.
+    * ``certify_update`` — remove + add composed, charging only the
+      utilization **delta** against the slack.
+
+    Every other case returns ``None`` = "don't know, rerun the exact
+    test".  ``True``/``False`` are *certificates*: for int/Fraction
+    parameters the reasoning is exact; with floats each comparison must
+    additionally clear a relative guard band (``rel_eps``) that dominates
+    the re-association error of the restructured sums, and knife-edge
+    cases inside the band return ``None`` instead of guessing.
+
+    The certifier is deliberately **not** in ``AdmissionState``'s verdict
+    path (which stays bit-identical to the scalar tests); callers opt in,
+    as ``examples/admission_control.py`` does, and should call
+    :meth:`refresh` after every exact verdict.
+    """
+
+    def __init__(self, rel_eps: float = 1e-9):
+        if rel_eps < 0:
+            raise ValueError("rel_eps must be >= 0")
+        self.rel_eps = rel_eps
+        self.stats: Dict[str, int] = {"certified": 0, "unknown": 0}
+        self._valid = False
+
+    # -- cache maintenance -----------------------------------------------------
+
+    def refresh(self, state, scheduler: SchedulerKind = SchedulerKind.EDF_NF) -> None:
+        """Rebuild the cache from ``state``'s current *exact* verdict
+        (``state`` is an :class:`~repro.incremental.state.AdmissionState`;
+        O(N) on top of the verdict itself)."""
+        result = state.portfolio_result(scheduler)
+        self._accepted = result.accepted
+        via = result.reason.removeprefix("accepted by member ")
+        if result.accepted and via.startswith("GN1"):
+            self._via = "GN1"
+        elif result.accepted and via.startswith("GN2"):
+            self._via = "GN2"
+        elif result.accepted:
+            self._via = "DP"
+        else:
+            self._via = ""
+        dp = state.analyzers["DP"].test
+        tasks = list(state.tasks)
+        self._cap = state.fpga.capacity
+        self._us_by_name = {t.name: t.system_utilization for t in tasks}
+        self._area_by_name = {t.name: t.area for t in tasks}
+        self._has_float = any(
+            isinstance(v, float)
+            for t in tasks
+            for v in (t.wcet, t.period, t.deadline, t.area)
+        )
+        if tasks:
+            self._amax = max(self._area_by_name.values())
+            self._abnd = dp.busy_bound(self._cap, self._amax)
+            us_total: Real = 0
+            for t in tasks:
+                us_total = us_total + self._us_by_name[t.name]
+            self._us = us_total
+            self._min_slack = min(
+                self._abnd * (1 - t.time_utilization)
+                + self._us_by_name[t.name]
+                - us_total
+                for t in tasks
+            )
+        else:
+            self._amax = None
+            self._abnd = None
+            self._us = 0
+            self._min_slack = None
+        self._busy_bound = dp.busy_bound
+        self._valid = True
+
+    def _leq(self, lhs: Real, rhs: Real, floaty: bool) -> bool:
+        """``lhs <= rhs`` with a relative guard band when floats are involved."""
+        if not (floaty or self._has_float):
+            return lhs <= rhs
+        scale = max(1.0, abs(float(lhs)), abs(float(rhs)))
+        return float(lhs) <= float(rhs) - self.rel_eps * scale
+
+    @staticmethod
+    def _floaty(task: Task) -> bool:
+        return any(
+            isinstance(v, float) for v in (task.wcet, task.period, task.deadline, task.area)
+        )
+
+    def _answer(self, verdict: Optional[bool]) -> Optional[bool]:
+        self.stats["unknown" if verdict is None else "certified"] += 1
+        return verdict
+
+    # -- certificates ----------------------------------------------------------
+
+    def certify_remove(self, name: str) -> Optional[bool]:
+        """Still accepted after retiring ``name``?  (``None`` = rerun.)"""
+        if not self._valid or not self._accepted or self._via not in ("DP", "GN1"):
+            return self._answer(None)
+        if name not in self._us_by_name:
+            return self._answer(None)
+        # Consume: US shrinks; cached min_slack stays a valid lower bound.
+        self._us = self._us - self._us_by_name.pop(name)
+        area = self._area_by_name.pop(name)
+        if self._area_by_name and area == self._amax:
+            self._amax = max(self._area_by_name.values())
+            self._abnd = self._busy_bound(self._cap, self._amax)
+        elif not self._area_by_name:
+            self._amax = self._abnd = self._min_slack = None
+        return self._answer(True)
+
+    def certify_add(self, task: Task) -> Optional[bool]:
+        """Still accepted after admitting ``task``?  (``None`` = rerun.)"""
+        if (
+            not self._valid
+            or not self._accepted
+            or self._via != "DP"
+            or self._amax is None
+            or task.name in self._us_by_name
+        ):
+            return self._answer(None)
+        floaty = self._floaty(task)
+        if task.wcet > task.deadline or task.wcet > task.period or task.area > self._cap:
+            return self._answer(None)  # necessary conditions: let the exact path reject
+        if task.area > self._amax:
+            return self._answer(None)  # Abnd would shrink: no O(1) reasoning
+        us_j = task.system_utilization
+        ut_j = task.time_utilization
+        own_rhs = self._abnd * (1 - ut_j)
+        if not (
+            self._leq(us_j, self._min_slack, floaty)  # every resident inequality holds
+            and self._leq(self._us, own_rhs, floaty)  # the newcomer's own inequality
+            and self._leq(self._us + us_j, self._cap, floaty)  # necessary: US' <= A(H)
+        ):
+            return self._answer(None)
+        # Consume the slack the newcomer used up.
+        self._us_by_name[task.name] = us_j
+        self._area_by_name[task.name] = task.area
+        self._us = self._us + us_j
+        self._min_slack = min(self._min_slack - us_j, own_rhs + us_j - self._us)
+        self._has_float = self._has_float or floaty
+        return self._answer(True)
+
+    def certify_update(self, name: str, task: Task) -> Optional[bool]:
+        """Still accepted after replacing ``name`` with ``task``?"""
+        if (
+            not self._valid
+            or not self._accepted
+            or self._via != "DP"
+            or name not in self._us_by_name
+            or (task.name != name and task.name in self._us_by_name)
+        ):
+            return self._answer(None)
+        floaty = self._floaty(task)
+        if task.wcet > task.deadline or task.wcet > task.period or task.area > self._cap:
+            return self._answer(None)
+        if task.area > self._amax:
+            return self._answer(None)
+        us_old = self._us_by_name[name]
+        us_j = task.system_utilization
+        ut_j = task.time_utilization
+        delta_us = us_j - us_old
+        own_rhs = self._abnd * (1 - ut_j)
+        if not (
+            self._leq(delta_us, self._min_slack, floaty)
+            and self._leq(self._us - us_old, own_rhs, floaty)
+            and self._leq(self._us + delta_us, self._cap, floaty)
+        ):
+            return self._answer(None)
+        del self._us_by_name[name]
+        area_old = self._area_by_name.pop(name)
+        self._us_by_name[task.name] = us_j
+        self._area_by_name[task.name] = task.area
+        self._us = self._us + delta_us
+        new_slack = own_rhs + us_j - self._us
+        self._min_slack = min(self._min_slack - delta_us, new_slack)
+        if area_old == self._amax and task.area < area_old:
+            self._amax = max(self._area_by_name.values())
+            self._abnd = self._busy_bound(self._cap, self._amax)
+        self._has_float = self._has_float or floaty
+        return self._answer(True)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries answered without an exact rerun."""
+        total = self.stats["certified"] + self.stats["unknown"]
+        return self.stats["certified"] / total if total else 0.0

@@ -101,6 +101,31 @@ def gn2_beta(
     return u_i + exact_div(task_i.wcet - lam * task_i.deadline, task_k.deadline)
 
 
+def lambda_candidate_values(task: Task) -> List[Real]:
+    """The λ values one task contributes to Theorem 3's candidate pool:
+    its utilization ``C/T``, plus its density ``C/D`` when ``D > T``
+    (the discontinuities of ``β^λ``).  Cache-aware entry point: the
+    incremental analyzer maintains these per resident task and rebuilds
+    per-``k`` candidate lists without touching the other tasks."""
+    values = [task.time_utilization]
+    if task.deadline > task.period:
+        values.append(task.density)
+    return values
+
+
+def gn2_lambda_candidates_from_values(
+    pool_values: List[Real], lam_min: Real
+) -> List[Real]:
+    """Sorted, deduplicated candidates ``>= lam_min`` from a pooled list of
+    :func:`lambda_candidate_values` contributions (``lam_min`` itself is
+    always included — Theorem 3's minimum point ``λ = C_k/T_k``)."""
+    cands = {lam_min}
+    for v in pool_values:
+        if v >= lam_min:
+            cands.add(v)
+    return sorted(cands)
+
+
 def gn2_lambda_candidates(taskset: TaskSet, task_k: Task) -> List[Real]:
     """Candidate λ values for Theorem 3's existential search.
 
@@ -113,14 +138,7 @@ def gn2_lambda_candidates(taskset: TaskSet, task_k: Task) -> List[Real]:
     Candidates are returned sorted and deduplicated.  With exact-rational
     tasks, deduplication is exact.
     """
-    lam_min = task_k.time_utilization
-    cands = {lam_min}
+    pool: List[Real] = []
     for t in taskset:
-        u = t.time_utilization
-        if u >= lam_min:
-            cands.add(u)
-        if t.deadline > t.period:
-            d = t.density
-            if d >= lam_min:
-                cands.add(d)
-    return sorted(cands)
+        pool.extend(lambda_candidate_values(t))
+    return gn2_lambda_candidates_from_values(pool, task_k.time_utilization)

@@ -8,6 +8,8 @@
   (integer vs real α, EDF-NF vs EDF-FkF, placement modes, offset search);
 * :mod:`repro.experiments.acceptance` — the shared acceptance-ratio
   engine (vectorized tests, simulation subsampling, parallel workers);
+* :mod:`repro.experiments.churn` — online admission under an
+  arrival/departure stream, scored through :mod:`repro.incremental`;
 * :mod:`repro.experiments.report` — text/CSV/markdown rendering;
 * :mod:`repro.experiments.cli` — ``repro-experiments`` command line.
 """
@@ -18,6 +20,7 @@ from repro.experiments.acceptance import (
     acceptance_experiment,
     feasible_batch_at,
 )
+from repro.experiments.churn import churn_experiment
 from repro.experiments.claims import check_figure
 from repro.experiments.figures import FIGURES, FigureSpec, run_figure
 from repro.experiments.tables import TABLE_TASKSETS, run_tables
@@ -41,6 +44,7 @@ __all__ = [
     "EXPERIMENTS",
     "get_experiment",
     "check_figure",
+    "churn_experiment",
     "acceptance_pattern",
     "find_witness",
     "incomparability_census",

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from repro.experiments import ablations
+from repro.experiments import ablations, churn
 from repro.experiments.acceptance import AcceptanceCurves
 from repro.experiments.figures import FIGURES, run_figure
 from repro.fpga.placement import PlacementPolicy
@@ -132,6 +132,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
                 search_rounds=sim_search_rounds, elite_frac=sim_elite_frac,
             ),
         default_samples=200,
+    ),
+    "churn": Experiment(
+        "churn",
+        "Online admission under arrival/departure churn (incremental engine)",
+        churn.churn_runner,
+        default_samples=400,
     ),
     "ablation-sporadic": Experiment(
         "ablation-sporadic",

@@ -1,0 +1,370 @@
+"""Churn parity: incremental verdicts bit-identical to from-scratch tests.
+
+The central contract of :mod:`repro.incremental`: after ANY sequence of
+add/remove/update operations, every analyzer's :class:`TestResult` —
+including per-task lhs/rhs values and detail strings, under float *and*
+exact arithmetic — equals what the scalar test returns on the equivalent
+:class:`TaskSet`.  Hypothesis drives random operation streams; dedicated
+tests pin the knife edges (empty set, single task, remove-last,
+duplicate names) and the Tables 1-3 exact-rational sets.
+"""
+
+import random
+import subprocess
+import sys
+from fractions import Fraction as F
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.composite import paper_portfolio
+from repro.core.dp import dp_test
+from repro.core.gn1 import gn1_test
+from repro.core.gn2 import gn2_test
+from repro.core.interfaces import SchedulerKind
+from repro.core.sensitivity import DeltaCertifier
+from repro.fpga.device import Fpga
+from repro.incremental import AdmissionState, Delta, reverdict
+from repro.model.task import Task, TaskSet
+
+MEMBERS = {"DP": dp_test, "GN1": gn1_test, "GN2": gn2_test}
+
+
+def _assert_parity(state: AdmissionState, fpga: Fpga) -> None:
+    """Full-dataclass equality between incremental and scalar verdicts."""
+    if len(state) == 0:
+        for name in MEMBERS:
+            res = state.result(name)
+            assert res.accepted and "vacuously" in res.reason
+        assert state.portfolio_result().accepted
+        return
+    ts = TaskSet(state.tasks)
+    for name, test in MEMBERS.items():
+        assert state.result(name) == test(ts, fpga), name
+    for scheduler in SchedulerKind:
+        assert state.portfolio_result(scheduler) == paper_portfolio(scheduler)(
+            ts, fpga
+        ), scheduler
+
+
+@st.composite
+def churn_streams(draw, exact: bool):
+    """A random sequence of (op, payload) churn operations."""
+    n_ops = draw(st.integers(1, 25))
+    ops = []
+    for i in range(n_ops):
+        kind = draw(st.sampled_from(["add", "add", "remove", "update"]))
+        period = draw(st.integers(4, 16))
+        deadline = draw(st.integers(2, period + 4))
+        wcet_tenths = draw(st.integers(1, min(deadline, period) * 10))
+        wcet = F(wcet_tenths, 10) if exact else wcet_tenths / 10
+        area = draw(st.integers(1, 9))
+        victim = draw(st.integers(0, 30))  # resolved modulo residents
+        task = Task(wcet=wcet, period=period, deadline=deadline, area=area, name=f"t{i}")
+        ops.append((kind, task, victim))
+    return ops
+
+
+def _run_stream(ops, fpga):
+    state = AdmissionState(fpga)
+    for kind, task, victim in ops:
+        names = [t.name for t in state]
+        if kind == "add" or not names:
+            state.add(task)
+        elif kind == "remove":
+            state.remove(names[victim % len(names)])
+        else:
+            name = names[victim % len(names)]
+            state.update(
+                name, Task(task.wcet, task.period, task.deadline, task.area, name=name)
+            )
+        _assert_parity(state, fpga)
+    return state
+
+
+class TestChurnParity:
+    @given(ops=churn_streams(exact=False))
+    @settings(max_examples=60, deadline=None)
+    def test_float_streams(self, ops):
+        _run_stream(ops, Fpga(width=10))
+
+    @given(ops=churn_streams(exact=True))
+    @settings(max_examples=60, deadline=None)
+    def test_exact_streams(self, ops):
+        _run_stream(ops, Fpga(width=10))
+
+    def test_long_mixed_stream(self):
+        """A deeper seeded stream than hypothesis affords per example."""
+        rng = random.Random(42)
+        fpga = Fpga(width=60)
+        state = AdmissionState(fpga)
+        for i in range(150):
+            names = [t.name for t in state]
+            roll = rng.random()
+            period = rng.randint(5, 30)
+            wcet = rng.randint(1, max(1, period // 2))
+            task = Task(
+                wcet=wcet,
+                period=period,
+                deadline=rng.randint(wcet, period + 5),
+                area=rng.randint(1, 20),
+                name=f"t{i}",
+            )
+            if not names or roll < 0.5:
+                state.add(task)
+            elif roll < 0.8:
+                state.remove(rng.choice(names))
+            else:
+                name = rng.choice(names)
+                state.update(
+                    name,
+                    Task(task.wcet, task.period, task.deadline, task.area, name=name),
+                )
+            if i % 5 == 0 or i > 140:
+                _assert_parity(state, fpga)
+        _assert_parity(state, fpga)
+
+
+class TestKnifeEdges:
+    def test_empty_state_vacuous_accept(self, fpga10):
+        state = AdmissionState(fpga10)
+        for name in MEMBERS:
+            res = state.result(name)
+            assert res.accepted
+            assert res.reason == "empty taskset: vacuously schedulable"
+            assert res.test_name == MEMBERS[name].name
+        assert state.portfolio_result().accepted
+        assert state.taskset is None
+
+    def test_single_task_then_remove_last(self, fpga10):
+        state = AdmissionState(fpga10)
+        t = Task(wcet=1, period=4, deadline=4, area=2, name="solo")
+        state.add(t)
+        _assert_parity(state, fpga10)
+        assert state.remove("solo") is t
+        assert len(state) == 0
+        _assert_parity(state, fpga10)
+        # Refill after draining: caches must restart cleanly.
+        state.add(t)
+        _assert_parity(state, fpga10)
+
+    def test_duplicate_name_rejected(self, fpga10):
+        state = AdmissionState(fpga10)
+        state.add(Task(wcet=1, period=4, area=2, name="dup"))
+        with pytest.raises(KeyError):
+            state.add(Task(wcet=1, period=5, area=3, name="dup"))
+        state.add(Task(wcet=1, period=5, area=3, name="other"))
+        with pytest.raises(KeyError):
+            state.update("other", Task(wcet=1, period=5, area=3, name="dup"))
+        _assert_parity(state, fpga10)
+
+    def test_remove_unknown_name(self, fpga10):
+        state = AdmissionState(fpga10)
+        with pytest.raises(KeyError):
+            state.remove("ghost")
+
+    def test_update_rename(self, fpga10):
+        state = AdmissionState(fpga10)
+        state.add(Task(wcet=1, period=4, area=2, name="old"))
+        state.add(Task(wcet=1, period=6, area=3, name="keep"))
+        state.update("old", Task(wcet=2, period=8, area=4, name="new"))
+        assert "new" in state and "old" not in state
+        _assert_parity(state, fpga10)
+
+    def test_admit_rolls_back_rejects(self, fpga10):
+        state = AdmissionState(fpga10)
+        assert state.admit(Task(wcet=1, period=4, area=2, name="ok"))
+        # A task wider than the device fails the necessary conditions.
+        assert not state.admit(Task(wcet=1, period=4, area=11, name="wide"))
+        assert "wide" not in state and len(state) == 1
+        _assert_parity(state, fpga10)
+
+
+class TestPaperTablesChurn:
+    """Churn across the paper's exact knife-edge tasksets (Tables 1-3)."""
+
+    def test_tables_rotation(self, fpga10, table1, table2, table3):
+        state = AdmissionState(fpga10)
+        # Walk through each table's tasks by add/remove, asserting parity
+        # at every intermediate (mixed-table) resident set.
+        tables = {"T1": table1, "T2": table2, "T3": table3}
+        for label, table in tables.items():
+            for t in table:
+                state.add(
+                    Task(t.wcet, t.period, t.deadline, t.area, name=f"{label}.{t.name}")
+                )
+                _assert_parity(state, fpga10)
+        for label, table in tables.items():
+            for t in table:
+                state.remove(f"{label}.{t.name}")
+                _assert_parity(state, fpga10)
+
+    def test_table_verdicts_via_state(self, fpga10, table1, table2, table3):
+        """The paper's accept/reject matrix, reproduced incrementally."""
+        expect = {
+            "T1": {"DP": True, "GN1": False, "GN2": False},
+            "T2": {"DP": False, "GN1": True, "GN2": False},
+            "T3": {"DP": False, "GN1": False, "GN2": True},
+        }
+        for label, table in (("T1", table1), ("T2", table2), ("T3", table3)):
+            state = AdmissionState(fpga10, table)
+            for name, want in expect[label].items():
+                assert state.accepts(name) is want, (label, name)
+            assert state.portfolio_accepts()
+
+
+class TestReverdict:
+    def test_matches_states_and_vacuous_empty(self, fpga10):
+        rng = random.Random(5)
+        states = []
+        for b in range(6):
+            state = AdmissionState(fpga10)
+            for j in range(3):
+                period = float(rng.randint(4, 12))
+                # Irregular float WCETs keep the strict-inequality checks
+                # away from exact ties (where the float64 vector kernels
+                # legitimately differ from exact-rational scalar verdicts).
+                wcet = rng.randint(1, int(period) // 2) + 0.1 + 0.01 * rng.random()
+                state.add(
+                    Task(wcet=wcet, period=period, area=rng.randint(1, 6), name=f"s{b}t{j}")
+                )
+            states.append(state)
+        states.append(AdmissionState(fpga10))  # empty
+        deltas = [None] * len(states)
+        deltas[0] = Delta.remove("s0t0")
+        deltas[1] = Delta.add(Task(wcet=1, period=9, area=2, name="s1new"))
+        results = reverdict(states, deltas, tests=("DP", "GN1", "GN2", "ANY"))
+        assert len(states[0]) == 2 and "s1new" in states[1]
+        for state, verdicts in zip(states, results):
+            if len(state) == 0:
+                assert verdicts == {"DP": True, "GN1": True, "GN2": True, "ANY": True}
+                continue
+            # Float-parameter tasks: the vector kernels agree exactly.
+            for name in ("DP", "GN1", "GN2"):
+                assert verdicts[name] == state.accepts(name), (name, state.tasks)
+            assert verdicts["ANY"] == (
+                verdicts["DP"] or verdicts["GN1"] or verdicts["GN2"]
+            )
+
+    def test_groups_mixed_sizes(self, fpga10):
+        states = [AdmissionState(fpga10) for _ in range(4)]
+        for i, state in enumerate(states):
+            for j in range(1 + i % 2):  # sizes 1, 2, 1, 2
+                state.add(Task(wcet=1, period=6, area=2, name=f"m{i}t{j}"))
+        results = reverdict(states, tests=("DP",))
+        assert all(r["DP"] for r in results)
+
+    def test_rejects_bad_input(self, fpga10):
+        state = AdmissionState(fpga10)
+        with pytest.raises(ValueError):
+            reverdict([state], tests=("DP", "BOGUS"))
+        with pytest.raises(ValueError):
+            reverdict([state], [None, None])
+
+
+class TestDeltaCertifier:
+    """Certificates must be *sound*: a True/False answer always matches
+    the exact portfolio verdict after the delta; None means rerun."""
+
+    @pytest.mark.parametrize("exact", [False, True], ids=["float", "fraction"])
+    def test_random_stream_soundness(self, exact):
+        rng = random.Random(9)
+        fpga = Fpga(width=80)
+        state = AdmissionState(fpga)
+        cert = DeltaCertifier()
+        cert.refresh(state)
+        certified = 0
+        for i in range(120):
+            names = [t.name for t in state]
+            roll = rng.random()
+            period = rng.randint(8, 40)
+            wcet = rng.randint(1, max(1, period // 3))
+            if exact:
+                task = Task(
+                    wcet=F(wcet),
+                    period=F(period),
+                    deadline=F(rng.randint(wcet, period + 4)),
+                    area=rng.randint(1, 12),
+                    name=f"c{i}",
+                )
+            else:
+                task = Task(
+                    wcet=wcet,
+                    period=period,
+                    deadline=rng.randint(wcet, period + 4),
+                    area=rng.randint(1, 12),
+                    name=f"c{i}",
+                )
+            if not names or roll < 0.55:
+                answer = cert.certify_add(task)
+                state.add(task)
+            elif roll < 0.85:
+                victim = rng.choice(names)
+                answer = cert.certify_remove(victim)
+                state.remove(victim)
+            else:
+                victim = rng.choice(names)
+                replacement = Task(
+                    task.wcet, task.period, task.deadline, task.area, name=victim
+                )
+                answer = cert.certify_update(victim, replacement)
+                state.update(victim, replacement)
+            truth = state.portfolio_accepts()
+            if answer is None:
+                cert.refresh(state)
+            else:
+                certified += 1
+                assert answer == truth, (i, answer, truth)
+        assert certified > 0  # the fast path actually fires
+        assert 0.0 < cert.hit_rate < 1.0
+
+    def test_remove_certified_under_dp_accept(self, fpga100):
+        state = AdmissionState(
+            fpga100, [Task(wcet=1, period=10, area=5, name=f"r{i}") for i in range(4)]
+        )
+        cert = DeltaCertifier()
+        cert.refresh(state)
+        assert cert.certify_remove("r2") is True
+        state.remove("r2")
+        assert state.portfolio_accepts()
+
+    def test_unknown_cases_return_none(self, fpga10):
+        state = AdmissionState(fpga10)
+        cert = DeltaCertifier()
+        cert.refresh(state)
+        # Empty state: no Amax to reason about.
+        assert cert.certify_add(Task(wcet=1, period=4, area=2, name="x")) is None
+        assert cert.certify_remove("ghost") is None
+
+
+class TestExampleCrossCheck:
+    def test_admission_example_from_scratch_mode(self):
+        """The ported example's --from-scratch replay asserts identical
+        decisions between incremental and from-scratch paths."""
+        root = Path(__file__).resolve().parent.parent
+        proc = subprocess.run(
+            [sys.executable, str(root / "examples" / "admission_control.py"),
+             "--from-scratch", "--arrivals", "60"],
+            capture_output=True,
+            text=True,
+            timeout=240,
+            cwd=root,
+            env={"PYTHONPATH": str(root / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "identical to from-scratch" in proc.stdout
+
+
+class TestChurnExperimentCrossCheck:
+    def test_experiment_parity_audit(self):
+        from repro.experiments.churn import churn_experiment
+
+        curves = churn_experiment(
+            events=40, seed=7, util_buckets=(0.2, 0.5), cross_check=True
+        )
+        assert curves.labels == ("DP", "GN1", "GN2", "ANY")
+        for label in ("DP", "GN1", "GN2"):
+            for u, any_ratio in zip(curves["ANY"].utilizations, curves["ANY"].ratios):
+                assert curves[label].at(u) <= any_ratio + 1e-12

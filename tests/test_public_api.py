@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.sched",
     "repro.sim",
     "repro.vector",
+    "repro.incremental",
     "repro.experiments",
 ]
 
