@@ -84,6 +84,11 @@ def main() -> None:
                         help="fraction of lowest-slack patterns refitting "
                              "the adaptive proposals each round")
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--sim-workers", type=int, default=None,
+                        dest="sim_workers", metavar="W",
+                        help="shard each vector-sim batch over W processes "
+                             "(bit-identical verdicts; unset consults "
+                             "REPRO_SIM_WORKERS, then 1)")
     parser.add_argument("--seed", type=int, default=2007)
     parser.add_argument("--out", type=Path, default=Path("results"))
     args = parser.parse_args()
@@ -110,6 +115,7 @@ def main() -> None:
             sim_array_backend=args.array_backend,
             seed=args.seed,
             workers=args.workers,
+            sim_workers=args.sim_workers,
             ci_target=args.ci_target,
         )
         blocks.append(as_text(curves))

@@ -298,6 +298,7 @@ def acceptance_experiment(
     horizon_factor: int = 20,
     max_events: int = 1_000_000,
     workers: int = 1,
+    sim_workers: Optional[int] = None,
     name: Optional[str] = None,
     sampling: str = "rescale",
     bin_tolerance: Optional[float] = None,
@@ -346,6 +347,13 @@ def acceptance_experiment(
     exceeding ``max_events`` are recorded as not schedulable and counted
     in :attr:`AcceptanceCurves.sim_budget_exceeded` rather than aborting
     the sweep.
+
+    ``sim_workers`` shards each vector-sim bucket's batch dimension over
+    a process pool inside :func:`simulate_batch` (verdicts bit-identical
+    to serial; ``None`` defers to the ``REPRO_SIM_WORKERS`` environment
+    variable, then 1).  It is independent of ``workers``, which
+    parallelizes over *tasksets* on the scalar backend; the device-serial
+    rule applies to both.
 
     ``sampling`` selects how buckets are filled: ``"rescale"`` draws from
     the profile and rescales WCETs to the exact target (fast, exact
@@ -501,6 +509,7 @@ def acceptance_experiment(
                         mode=sim_mode, placement_policy=sim_policy,
                         horizon_factor=horizon_factor, max_events=max_events,
                         array_backend=sim_array_backend,
+                        sim_workers=sim_workers,
                         **release_kwargs,
                     )
                     counts[f"sim:{sched}"][0] += int(res.schedulable.sum())

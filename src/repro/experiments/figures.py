@@ -101,6 +101,7 @@ def run_figure(
     sim_release: str = "periodic",
     sim_jitter: float = 0.5,
     workers: int = 1,
+    sim_workers: Optional[int] = None,
     horizon_factor: int = 20,
     ci_target: Optional[float] = None,
 ) -> AcceptanceCurves:
@@ -119,7 +120,10 @@ def run_figure(
     (see :func:`~repro.experiments.acceptance.acceptance_experiment`).
     ``sim_array_backend`` selects the :mod:`repro.vector.xp` array
     namespace the batched simulator computes on (``None`` = process
-    override, then ``REPRO_ARRAY_BACKEND``, then numpy).
+    override, then ``REPRO_ARRAY_BACKEND``, then numpy), and
+    ``sim_workers`` shards each vector-sim batch over processes
+    (``None`` = ``REPRO_SIM_WORKERS``, then 1; verdicts bit-identical
+    to serial).
 
     ``ci_target`` switches bucket sizing from flat ``samples`` to
     adaptive: each bucket draws only as many tasksets as its series need
@@ -146,6 +150,7 @@ def run_figure(
         sim_release=sim_release,
         sim_jitter=sim_jitter,
         workers=workers,
+        sim_workers=sim_workers,
         horizon_factor=horizon_factor,
         name=spec.title,
         sampling=spec.sampling,

@@ -25,8 +25,8 @@ class Experiment:
     description: str
     #: (samples, seed, workers, sim_backend="vector",
     #: sim_array_backend=None, ci_target=None, sim_mode=...,
-    #: sim_policy=..., sim_release=..., sim_jitter=..., sim_search=...,
-    #: sim_search_rounds=..., sim_elite_frac=...)
+    #: sim_policy=..., sim_release=..., sim_jitter=..., sim_workers=...,
+    #: sim_search=..., sim_search_rounds=..., sim_elite_frac=...)
     #: -> AcceptanceCurves.  Runners that cannot honour a knob (e.g.
     #: ci_target on the offset search, the sim_* sweeps on ablations
     #: that sweep those axes themselves, or sim_search on experiments
@@ -47,6 +47,7 @@ def _figure_runner(figure_id: str):
         sim_policy: PlacementPolicy = PlacementPolicy.FIRST_FIT,
         sim_release: str = "periodic",
         sim_jitter: float = 0.5,
+        sim_workers: Optional[int] = None,
         **_sim_kw,  # sim_search etc.: no pattern search on figure curves
     ) -> AcceptanceCurves:
         # The vector backend simulates the whole bucket; the scalar one
@@ -64,6 +65,7 @@ def _figure_runner(figure_id: str):
             sim_release=sim_release,
             sim_jitter=sim_jitter,
             workers=workers,
+            sim_workers=sim_workers,
             ci_target=ci_target,
         )
 

@@ -139,6 +139,19 @@ class TaskSetBatch:
     def to_tasksets(self) -> List[TaskSet]:
         return [self.taskset(i) for i in range(self.count)]
 
+    def rows(self, sl: slice) -> "TaskSetBatch":
+        """A contiguous row-slice view of the batch (shared storage).
+
+        Rows are independent in every vector kernel, so slicing the
+        batch axis is the sharding primitive of
+        ``simulate_batch(..., sim_workers=...)``: results computed on
+        ``rows(a:b)`` slices concatenate to the full-batch result
+        bit-for-bit.
+        """
+        return TaskSetBatch(
+            self.wcet[sl], self.period[sl], self.deadline[sl], self.area[sl]
+        )
+
     def with_backend(
         self, backend: Union[None, str, "xp.ArrayBackend"] = None
     ) -> "TaskSetBatch":

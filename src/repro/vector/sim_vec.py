@@ -93,6 +93,8 @@ encodes schedules with (``tau10@...`` sorts before ``tau1@...`` because
 
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -102,6 +104,7 @@ from repro.fpga.placement import PlacementPolicy
 from repro.sched.base import Scheduler
 from repro.sim.simulator import MigrationMode
 from repro.util.mathutil import TIME_EPS
+from repro.util.parallel import parallel_map
 from repro.vector import xp
 from repro.vector.batch import TaskSetBatch
 from repro.vector.placement_vec import choose_batch, clear_spans, span_free
@@ -110,6 +113,33 @@ from repro.vector.xp import host as hnp
 #: scheduler name -> skip_blocked (EDF-NF skips a job that does not fit,
 #: EDF-FkF stops at the first one — see repro.sched.base.Scheduler).
 _SKIP_BLOCKED = {"EDF-NF": True, "EDF-FkF": False}
+
+#: environment variable consulted when ``sim_workers`` is not given
+#: explicitly (kwarg > CLI flag, which passes the kwarg > env > 1).
+SIM_WORKERS_ENV = "REPRO_SIM_WORKERS"
+
+
+def resolve_sim_workers(sim_workers: Optional[int] = None) -> int:
+    """Resolve the batch-sharding worker count.
+
+    Precedence: explicit argument (the CLI's ``--sim-workers`` arrives
+    here as a kwarg) > the ``REPRO_SIM_WORKERS`` environment variable >
+    serial (1).  Raises on non-integer or < 1 values from either source.
+    """
+    if sim_workers is None:
+        raw = os.environ.get(SIM_WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            sim_workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{SIM_WORKERS_ENV} must be an integer, got {raw!r}"
+            )
+    workers = int(sim_workers)
+    if workers < 1:
+        raise ValueError(f"sim_workers must be >= 1, got {sim_workers!r}")
+    return workers
 
 
 @dataclass(frozen=True)
@@ -136,6 +166,13 @@ class SimBatchResult:
     search (:mod:`repro.search`) and matches the scalar
     :attr:`repro.sim.simulator.SimulationResult.min_slack` bit-exactly
     (same operands, same order) on the numpy and torch-CPU backends.
+
+    ``kernel_passes``/``event_steps`` instrument the fused stepper:
+    ``event_steps`` counts inner event-loop iterations actually executed
+    and ``kernel_passes`` the host-synchronized outer passes (scatter +
+    compaction points).  Unfused (``fuse=1``) the two are equal; at
+    ``fuse=K`` the ratio approaches ``K`` — the measured, not assumed,
+    fusion factor.  Sharded runs sum the counters over their shards.
     """
 
     schedulable: "hnp.ndarray"  # (B,) bool
@@ -146,6 +183,8 @@ class SimBatchResult:
     mode: MigrationMode = MigrationMode.FREE
     policy: Optional[PlacementPolicy] = None
     release: str = "periodic"
+    kernel_passes: int = 0
+    event_steps: int = 0
 
     @property
     def count(self) -> int:
@@ -157,6 +196,13 @@ class SimBatchResult:
         if self.count == 0:
             return float("nan")
         return float(self.schedulable.mean())
+
+    @property
+    def fusion_factor(self) -> float:
+        """Measured event steps per kernel pass (nan when none ran)."""
+        if self.kernel_passes == 0:
+            return float("nan")
+        return self.event_steps / self.kernel_passes
 
 
 def _resolve_skip_blocked(scheduler: Union[str, Scheduler]) -> bool:
@@ -271,8 +317,19 @@ def sample_release_times_batch(
     bit-identical to calling
     :func:`repro.sim.sporadic.sample_release_schedule` on each
     ``batch.taskset(i)`` in row order with the same shared generator.
-    (Sampling is a Python loop on the host for exactly that scalar
-    parity — only the simulation itself is backend-vectorized.)
+    (Sampling stays on the host for exactly that scalar parity — only
+    the simulation itself is backend-vectorized.)
+
+    Per cell the per-draw Python loop is replaced by *certified block
+    draws*: gaps are bounded by ``T * (1 + jitter)``, so up to
+    ``k = floor(span / (T * (1 + jitter)))`` gaps provably land before
+    the horizon and can be drawn in one ``rng.uniform(size=k)`` call —
+    which consumes the generator stream draw-for-draw identically to
+    ``k`` scalar calls — with ``cumsum`` (sequential left-to-right adds,
+    bit-identical to the scalar accumulation) turning gaps into release
+    times.  Blocks repeat on the remaining span; only the final few
+    draws near the horizon (where the next stop is data-dependent) fall
+    back to single draws, including the overshooting one.
     """
     if max_jitter_factor < 0:
         raise ValueError("max_jitter_factor must be >= 0")
@@ -282,29 +339,136 @@ def sample_release_times_batch(
     )
     if hnp.any(hz <= 0):
         raise ValueError("horizon must be > 0")
-    rows: list = []
-    longest = 0
-    for b in range(batch.count):
-        row = []
-        for n in range(batch.n_tasks):
+    B, N = batch.count, batch.n_tasks
+    # Certification safety margin: block releases are bounded by
+    # k * T * (1 + jitter) up to float rounding; the relative shave is
+    # orders of magnitude above any accumulated cumsum error.
+    _MARGIN = 1.0 - 1e-9
+    gap_max = 1.0 + max_jitter_factor
+    cells: list = []  # per-(b, n) release arrays, cell order
+    lengths = hnp.zeros((B, N), dtype=hnp.int64)
+    for b in range(B):
+        horizon_b = float(hz[b])
+        for n in range(N):
             period = float(period_h[b, n])
-            releases = [0.0]
+            parts = [hnp.zeros(1)]  # first release at t = 0
+            last = 0.0
+            count = 1
             while True:
-                gap = period * (1.0 + float(rng.uniform(0.0, max_jitter_factor)))
-                nxt = releases[-1] + gap
-                if nxt >= hz[b]:
+                # How many further gaps certainly stay below the horizon
+                # even if every draw hits the jitter ceiling.
+                k = int((horizon_b - last) / (period * gap_max) * _MARGIN)
+                if k < 4:
                     break
-                releases.append(nxt)
-            longest = max(longest, len(releases))
-            row.append(releases)
-        rows.append(row)
-    out = hnp.full(
-        (batch.count, batch.n_tasks, longest + 1), hnp.inf, dtype=hnp.float64
-    )
-    for b, row in enumerate(rows):
-        for n, releases in enumerate(row):
-            out[b, n, : len(releases)] = releases
+                gaps = period * (1.0 + rng.uniform(0.0, max_jitter_factor, size=k))
+                # cumsum accumulates strictly left-to-right, so seeding
+                # it with ``last`` reproduces the scalar's sequential
+                # ``releases[-1] + gap`` adds bit-for-bit.
+                block = hnp.cumsum(hnp.concatenate([hnp.asarray([last]), gaps]))[1:]
+                if block[-1] >= horizon_b:  # pragma: no cover - certified
+                    raise RuntimeError(
+                        "internal error: certified sporadic block "
+                        "overshot the horizon"
+                    )
+                parts.append(block)
+                last = float(block[-1])
+                count += k
+            while True:  # data-dependent tail: single draws, scalar-style
+                gap = period * (1.0 + float(rng.uniform(0.0, max_jitter_factor)))
+                nxt = last + gap
+                if nxt >= horizon_b:
+                    break  # the overshooting draw is consumed, like the scalar
+                parts.append(hnp.asarray([nxt]))
+                last = nxt
+                count += 1
+            cells.append(parts[0] if count == 1 else hnp.concatenate(parts))
+            lengths[b, n] = count
+    longest = int(lengths.max()) if cells else 0
+    out = hnp.full((B, N, longest + 1), hnp.inf, dtype=hnp.float64)
+    if cells:
+        # Vectorized inf-padding scatter: one boolean mask assignment in
+        # cell order instead of a per-cell Python slice loop.
+        mask = hnp.arange(longest + 1) < lengths[:, :, None]
+        out[mask] = hnp.concatenate(cells)
     return out
+
+
+def _nf_running_greedy(ns, area_s, capacity):
+    """EDF-NF FREE-mode selection, reference implementation.
+
+    The scalar rule verbatim: walk priority positions left to right,
+    take a job iff the areas taken so far plus its own fit, skipping
+    (not stopping at) blocked jobs.  One Python iteration — several
+    kernel launches — per task slot; kept as the bit-parity reference
+    the batched fixpoint below is tested (and benchmarked) against.
+    """
+    M, N = area_s.shape
+    run_s = ns.empty((M, N), dtype=ns.bool_)
+    used = ns.zeros((M,), dtype=ns.float64)
+    for j in range(N):
+        a_j = area_s[:, j]
+        take = used + a_j <= capacity
+        used += ns.where(take, a_j, 0.0)
+        run_s[:, j] = take
+    return run_s
+
+
+def _nf_running_batched(ns, area_s, capacity):
+    """EDF-NF FREE-mode selection without the per-task Python loop.
+
+    Fixpoint formulation of the same greedy rule: start from every
+    active job as a candidate, and repeatedly un-admit — per row — the
+    *first* candidate whose left-to-right prefix sum overflows the
+    capacity, until no candidate overflows.  The loop runs at most
+    ``N`` times; rounds past the first touch only the rows that still
+    overflow.
+
+    Bit-exactness: ``cumsum`` accumulates left to right over exactly the
+    operands the greedy reference adds — admitted areas, ``0.0`` for
+    skipped/inactive slots (the reference adds ``where(take, a, 0.0)``
+    too, and ``x + 0.0 == x`` exactly for finite ``x``) — so the prefix
+    sums, and therefore the ``<= capacity`` decisions, match
+    :func:`_nf_running_greedy` bit-for-bit.  Induction on priority
+    position shows the surviving candidate set *is* the greedy take set:
+    ahead of the first pruned position both scans agree, and pruning
+    only ever removes the leftmost overflow, which the greedy scan
+    skips at the same prefix sum.
+
+    Each pruning round blocks exactly one job per overflowing row, so
+    the round count is the *maximum* skip count over the rows — and
+    rows are independent, so converged rows must not pay for the
+    straggler's rounds.  After the first full-width round the fixpoint
+    therefore compresses onto the still-overflowing rows (the same
+    gather/scatter trick as :func:`_select_placement`), shrinking the
+    re-``cumsum`` work every round.
+    """
+    finite = ns.isfinite(area_s)
+    csum = ns.cumsum(ns.where(finite, area_s, 0.0), axis=1)
+    overflow = finite & (csum > capacity)
+    rows = ns.nonzero(ns.any(overflow, axis=1))[0]
+    if not rows.shape[0]:
+        return finite
+    admitted = ns.copy(finite)
+    idx = rows  # absolute row ids still in play
+    sub_adm = admitted[idx]
+    sub_area = area_s[idx]
+    sub_over = overflow[idx]
+    while True:
+        # Every surviving row has >= 1 overflow: un-admit the first.
+        first = ns.argmax(sub_over, axis=1)
+        sub_adm[ns.arange(idx.shape[0]), first] = False
+        csum = ns.cumsum(ns.where(sub_adm, sub_area, 0.0), axis=1)
+        sub_over = sub_adm & (csum > capacity)
+        still = ns.any(sub_over, axis=1)
+        if not ns.any(still):
+            admitted[idx] = sub_adm
+            return admitted
+        settled = ~still
+        admitted[idx[settled]] = sub_adm[settled]
+        idx = idx[still]
+        sub_adm = sub_adm[still]
+        sub_area = sub_area[still]
+        sub_over = sub_over[still]
 
 
 def _select_placement(
@@ -404,6 +568,9 @@ def simulate_batch(
     max_events: int = 1_000_000,
     eps: float = TIME_EPS,
     array_backend: Optional[str] = None,
+    fuse: int = 8,
+    sim_workers: Optional[int] = None,
+    nf_select: str = "auto",
 ) -> SimBatchResult:
     """Simulate every row of ``batch`` on one device geometry.
 
@@ -448,10 +615,53 @@ def simulate_batch(
     Rows whose event loop would exceed ``max_events`` (where the scalar
     simulator raises ``SimulationError``) are recorded as not
     schedulable and flagged in ``budget_exceeded`` instead of aborting
-    the batch.  An empty batch (``B == 0``) yields an empty result.
+    the batch; the budget counts *event steps*, never fused passes, so
+    its semantics are independent of ``fuse``.  An empty batch
+    (``B == 0``) yields an empty result.
+
+    Fused stepping and sharding (perf knobs — all bit-neutral):
+
+    * ``fuse`` advances every live row up to that many events per
+      kernel pass; decided rows are neutralized in place (infinite
+      next-release/deadline/area makes every further step a no-op for
+      them) and host synchronization, verdict scatter and row
+      compaction happen once per pass instead of once per event.
+      ``fuse=1`` degenerates to the classic one-sync-per-event loop.
+      Verdicts, ``events`` and ``min_slack`` are bit-identical for
+      every ``fuse`` on every backend.
+    * ``sim_workers`` shards the batch dimension into contiguous
+      sub-batches simulated by a process pool
+      (:func:`repro.util.parallel.parallel_map`).  Resolution follows
+      kwarg > ``REPRO_SIM_WORKERS`` > 1 (:func:`resolve_sim_workers`);
+      the CLI's ``--sim-workers`` arrives as the kwarg.  Rows are
+      independent, and all seeded sampling/validation/horizon
+      derivation happens on the full batch *before* the split, so
+      sharded results are bit-identical to the serial path whatever the
+      worker count.  Device backends (``is_device``) force serial with
+      a ``RuntimeWarning`` — forked workers must not share a GPU
+      context (the same rule the acceptance engine applies to its
+      scalar-backend pool).
+    * ``nf_select`` picks the EDF-NF FREE-mode selection kernel:
+      ``"batched"`` (the :func:`_nf_running_batched` fixpoint — no
+      per-task Python loop) or ``"greedy"`` (the per-task reference
+      scan).  Both are bit-identical on every backend, so the default
+      ``"auto"`` picks by *cost model*: the per-task loop is a
+      launch-count problem, which only exists off-host — device
+      backends resolve to ``"batched"`` (one fixpoint round replaces
+      ``N`` kernel launches), host backends to ``"greedy"`` (at small
+      ``N`` a memory-local column scan beats repeated ``(M, N)``
+      ``cumsum`` passes, measured ~1.4x on the numpy bench workload).
     """
     ns = xp.get_backend(array_backend)
     skip_blocked = _resolve_skip_blocked(scheduler)
+    if not isinstance(fuse, int) or fuse < 1:
+        raise ValueError(f"fuse must be an integer >= 1, got {fuse!r}")
+    if nf_select not in ("auto", "batched", "greedy"):
+        raise ValueError(
+            f"nf_select must be 'auto', 'batched' or 'greedy', "
+            f"got {nf_select!r}"
+        )
+    workers = resolve_sim_workers(sim_workers)
     if release not in ("periodic", "sporadic"):
         raise ValueError(f"unknown release pattern {release!r}")
     sporadic = release == "sporadic"
@@ -601,7 +811,75 @@ def simulate_batch(
             policy=result_policy,
             release=release,
         )
+
+    # -- multi-core sharding over the batch dimension --------------------------
+    # Everything seeded or shape-derived (validation, horizon derivation,
+    # offset broadcast, sporadic sampling on the shared generator) has
+    # already run on the *full* batch above, and rows never interact — so
+    # contiguous row slices simulated independently concatenate to the
+    # exact serial result, worker count notwithstanding.
+    if workers > 1 and ns.is_device:
+        warnings.warn(
+            f"array backend {ns.name!r} is device-resident; forcing "
+            f"sim_workers to serial (workers {workers} -> 1): forked "
+            f"workers must not share a GPU context",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        workers = 1
+    n_shards = min(workers, B)
+    if n_shards > 1:
+        bounds = [(B * s) // n_shards for s in range(n_shards + 1)]
+        shard_kwargs = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            kw = dict(
+                batch=host_batch.rows(slice(lo, hi)),
+                capacity=device if device is not None else capacity,
+                scheduler="EDF-NF" if skip_blocked else "EDF-FkF",
+                mode=mode,
+                placement_policy=placement_policy,
+                horizon=hz[lo:hi],
+                horizon_factor=horizon_factor,
+                release=release,
+                jitter=jitter,
+                max_events=max_events,
+                eps=eps,
+                array_backend=ns.name,
+                fuse=fuse,
+                sim_workers=1,
+                nf_select=nf_select,
+            )
+            if off is not None:
+                kw["offsets"] = off[lo:hi]
+            if sporadic:
+                kw["release_times"] = release_times[lo:hi]
+            shard_kwargs.append(kw)
+        shards = parallel_map(
+            _simulate_shard,
+            shard_kwargs,
+            workers=n_shards,
+            item_cost=max(1, B // n_shards),
+        )
+        return SimBatchResult(
+            schedulable=hnp.concatenate([r.schedulable for r in shards]),
+            budget_exceeded=hnp.concatenate(
+                [r.budget_exceeded for r in shards]
+            ),
+            events=hnp.concatenate([r.events for r in shards]),
+            horizon=hnp.concatenate([r.horizon for r in shards]),
+            min_slack=hnp.concatenate([r.min_slack for r in shards]),
+            mode=mode,
+            policy=result_policy,
+            release=release,
+            kernel_passes=sum(r.kernel_passes for r in shards),
+            event_steps=sum(r.event_steps for r in shards),
+        )
+
     hz_out = hz.copy()  # compaction rebinds hz; keep the full-batch view
+    # Host backends afford cheap any() early-outs inside a pass; device
+    # backends skip them (each would be a blocking sync) and rely on the
+    # masked updates being no-ops instead.
+    host = not ns.is_device
 
     # -- working set: live (undecided) rows only ------------------------------
     # Task columns are permuted into lexicographic-name order once, so a
@@ -656,6 +934,18 @@ def simulate_batch(
     # Every live row steps one event per loop iteration, so a single
     # scalar counter tracks each row's event count.
     iteration = 0
+    # -- fused-stepping state: rows decide *inside* a kernel pass and are
+    #    only scattered/compacted at its end, so each row's outcome is
+    #    frozen on the backend the moment it dies.  A dead row is
+    #    neutralized in place (infinite next release/deadline/area): it
+    #    selects nothing, releases nothing, misses nothing, and its
+    #    slack_min stops moving — every further step is a no-op for it.
+    live = ns.ones((B,), dtype=ns.bool_)
+    row_ok = ns.ones((B,), dtype=ns.bool_)
+    row_exc = ns.zeros((B,), dtype=ns.bool_)
+    row_events = ns.zeros((B,), dtype=ns.int64)
+    kernel_passes = 0
+    event_steps = 0
 
     # -- placement-aware state (per task slot; one live job per task) ---------
     if use_placement:
@@ -678,8 +968,12 @@ def simulate_batch(
         nonlocal idx, wcet, period, deadline, area, hz, rows
         nonlocal remaining, rel, abs_dl, area_m, next_rel, now, area_i, pos, pin
         nonlocal release_times, rel_ptr, slack_min
+        nonlocal live, row_ok, row_exc, row_events
         idx = idx[keep_host]
         slack_min = slack_min[keep]
+        live, row_ok, row_exc, row_events = (
+            live[keep], row_ok[keep], row_exc[keep], row_events[keep],
+        )
         wcet, period, deadline, area = (
             wcet[keep], period[keep], deadline[keep], area[keep],
         )
@@ -703,7 +997,11 @@ def simulate_batch(
         while-loop a single pass)."""
         nonlocal rel, remaining, abs_dl, area_m, next_rel, rel_ptr
         due = next_rel <= now[:, None] + eps
-        if not ns.any(due):
+        # The no-release early-out is host-only: on a device backend the
+        # any() would force a sync per event step — the very round trip
+        # fused stepping removes — and the where() updates below are
+        # no-ops under an all-False mask anyway.
+        if host and not ns.any(due):
             return
         rel = ns.where(due, next_rel, rel)
         remaining = ns.where(due, wcet, remaining)
@@ -721,111 +1019,153 @@ def simulate_batch(
                 due, ns.where(nxt < hz[:, None], nxt, INF), next_rel
             )
 
+    if nf_select == "auto":
+        # Bit-identical either way; pick by cost model (see docstring).
+        nf_select = "batched" if ns.is_device else "greedy"
+    nf_running = (
+        _nf_running_batched if nf_select == "batched" else _nf_running_greedy
+    )
+
     release_due()  # the scalar pre-loop release_due(0)
 
+    # Fused stepping: the outer loop is one *kernel pass* — up to `fuse`
+    # event steps computed back to back on the backend, then exactly one
+    # host synchronization (liveness readback, verdict scatter, row
+    # compaction).  Bit-identity with the classic per-event loop holds
+    # because a dead row's neutralized state makes every subsequent
+    # in-pass step a no-op for it: it selects no jobs (infinite areas),
+    # schedules no candidate events (infinite release/deadline), cannot
+    # re-miss, and never touches slack_min again.  The host-only any()
+    # early-outs below skip no-op updates cheaply on numpy without ever
+    # forcing a device sync inside a pass.
     while idx.shape[0]:
-        iteration += 1
-        if iteration > max_events:
-            # The scalar simulator raises SimulationError here; record the
-            # still-undecided rows as not-schedulable-within-budget.
-            out_ok[idx] = False
-            out_exceeded[idx] = True
-            out_events[idx] = iteration
-            out_slack[idx] = ns.asnumpy(slack_min)
-            break
+        kernel_passes += 1
         M = idx.shape[0]
-
-        # -- EDF selection: per-row (deadline, release) stable argsort, then
-        #    either the FREE-mode area accumulation or the placement-aware
-        #    contiguous-hole walk — same adds/comparisons as the scalar path.
-        order = ns.lexsort((rel, abs_dl), axis=-1)
-        if use_placement:
-            running = _select_placement(
-                ns, order, area_m, area_i, pos, pin,
-                device_words, device.width, placement_policy, skip_blocked,
-            )
-        else:
-            area_s = area_m[rows, order]
-            if skip_blocked:  # EDF-NF: greedy, a blocked job is skipped
-                run_s = ns.empty((M, N), dtype=ns.bool_)
-                used = ns.zeros((M,), dtype=ns.float64)
-                for j in range(N):
-                    a_j = area_s[:, j]
-                    take = used + a_j <= capacity
-                    used += ns.where(take, a_j, 0.0)
-                    run_s[:, j] = take
-            else:  # EDF-FkF: prefix, first blocked job stops the scan.
-                # Areas are positive, so the running sum over the active
-                # prefix is strictly increasing and "cumsum <= capacity" is
-                # exactly the largest-fitting-prefix rule (cumsum
-                # accumulates left-to-right like the scalar loop).
-                finite = ns.isfinite(area_s)
-                csum = ns.cumsum(ns.where(finite, area_s, 0.0), axis=1)
-                run_s = (csum <= capacity) & finite
-            running = ns.zeros((M, N), dtype=ns.bool_)
-            running[rows, order] = run_s
-
-        # -- next event per row: release, completion, or deadline expiry
-        #    (one fused axis-min over the element-wise minimum of the three
-        #    candidate kinds — same value as three separate mins).
-        now_col = now[:, None]
-        now_eps = now_col + eps
-        cand = ns.minimum(
-            next_rel, ns.where(running, now_col + remaining, INF)
-        )
-        cand = ns.minimum(cand, ns.where(abs_dl > now_eps, abs_dl, INF))
-        t_next = ns.minimum(ns.min(cand, axis=1), hz)
-
-        # -- advance the running jobs to t_next.
-        dt = t_next - now
-        adv = (dt > 0)[:, None] & running
-        remaining = ns.where(adv, remaining - dt[:, None], remaining)
-        now = t_next
-        now_col = now[:, None]
-        now_eps = now_col + eps
-
-        # -- completions first (finishing exactly at the deadline succeeds).
-        completed = running & (remaining <= eps)
-        if ns.any(completed):
-            # Slack channel: deadline minus completion time, recorded
-            # before the slot is cleared (same subtraction as the scalar
-            # simulator's per-completion slack).
-            slack_min = ns.minimum(
-                slack_min,
-                ns.min(ns.where(completed, abs_dl - now_col, INF), axis=1),
-            )
-            abs_dl = ns.where(completed, INF, abs_dl)
-            area_m = ns.where(completed, INF, area_m)
-            if use_placement:
-                # The scalar loop pops positions/pins on completion; the
-                # successor job of the task starts unplaced.
-                pos[completed] = -1
-                if pin is not None:
-                    pin[completed] = -1
-
-        # -- deadline misses decide the row (inactive slots have inf
-        #    deadlines and can never register here).
-        miss = (abs_dl <= now_eps) & (remaining > eps)
-        row_miss = ns.any(miss, axis=1)
-        if ns.any(row_miss):
-            # Tardiness-proximity: a missing job contributes -remaining
-            # (matches the scalar DeadlineMiss.remaining, negated).
-            slack_min = ns.minimum(
-                slack_min, ns.min(ns.where(miss, -remaining, INF), axis=1)
-            )
-        done = row_miss | (now >= hz - eps)
-        if ns.any(done):
-            done_h = ns.asnumpy(done)
-            decided = idx[done_h]
-            out_ok[decided] = ~ns.asnumpy(row_miss)[done_h]
-            out_events[decided] = iteration
-            out_slack[decided] = ns.asnumpy(slack_min)[done_h]
-            compact(~done, ~done_h)
-            if not idx.shape[0]:
+        for _ in range(fuse):
+            iteration += 1
+            if iteration > max_events:
+                # The scalar simulator raises SimulationError here;
+                # record every still-live row as
+                # not-schedulable-within-budget.  The budget counts
+                # event steps — `iteration` is shared by all live rows —
+                # so fusion never changes which rows exceed it.
+                row_ok = row_ok & ~live
+                row_exc = row_exc | live
+                row_events = ns.where(live, iteration, row_events)
+                live = ns.zeros((M,), dtype=ns.bool_)
                 break
+            event_steps += 1
 
-        # -- releases due at the new `now` (one job per task slot).
-        release_due()
+            # -- EDF selection: per-row (deadline, release) stable argsort,
+            #    then either the FREE-mode area accumulation or the
+            #    placement-aware contiguous-hole walk — same adds and
+            #    comparisons as the scalar path.
+            order = ns.lexsort((rel, abs_dl), axis=-1)
+            if use_placement:
+                running = _select_placement(
+                    ns, order, area_m, area_i, pos, pin,
+                    device_words, device.width, placement_policy,
+                    skip_blocked,
+                )
+            else:
+                area_s = area_m[rows, order]
+                if skip_blocked:  # EDF-NF: greedy, blocked jobs skipped
+                    run_s = nf_running(ns, area_s, capacity)
+                else:  # EDF-FkF: prefix, first blocked job stops the scan.
+                    # Areas are positive, so the running sum over the
+                    # active prefix is strictly increasing and "cumsum <=
+                    # capacity" is exactly the largest-fitting-prefix rule
+                    # (cumsum accumulates left-to-right like the scalar
+                    # loop).
+                    finite = ns.isfinite(area_s)
+                    csum = ns.cumsum(ns.where(finite, area_s, 0.0), axis=1)
+                    run_s = (csum <= capacity) & finite
+                running = ns.zeros((M, N), dtype=ns.bool_)
+                running[rows, order] = run_s
+
+            # -- next event per row: release, completion, or deadline expiry
+            #    (one fused axis-min over the element-wise minimum of the
+            #    three candidate kinds — same value as three separate mins).
+            now_col = now[:, None]
+            now_eps = now_col + eps
+            cand = ns.minimum(
+                next_rel, ns.where(running, now_col + remaining, INF)
+            )
+            cand = ns.minimum(cand, ns.where(abs_dl > now_eps, abs_dl, INF))
+            t_next = ns.minimum(ns.min(cand, axis=1), hz)
+
+            # -- advance the running jobs to t_next.
+            dt = t_next - now
+            adv = (dt > 0)[:, None] & running
+            remaining = ns.where(adv, remaining - dt[:, None], remaining)
+            now = t_next
+            now_col = now[:, None]
+            now_eps = now_col + eps
+
+            # -- completions first (finishing exactly at the deadline
+            #    succeeds).
+            completed = running & (remaining <= eps)
+            if not host or ns.any(completed):
+                # Slack channel: deadline minus completion time, recorded
+                # before the slot is cleared (same subtraction as the
+                # scalar simulator's per-completion slack).
+                slack_min = ns.minimum(
+                    slack_min,
+                    ns.min(
+                        ns.where(completed, abs_dl - now_col, INF), axis=1
+                    ),
+                )
+                abs_dl = ns.where(completed, INF, abs_dl)
+                area_m = ns.where(completed, INF, area_m)
+                if use_placement:
+                    # The scalar loop pops positions/pins on completion;
+                    # the successor job of the task starts unplaced.
+                    pos[completed] = -1
+                    if pin is not None:
+                        pin[completed] = -1
+
+            # -- deadline misses decide the row (inactive slots have inf
+            #    deadlines and can never register here).
+            miss = (abs_dl <= now_eps) & (remaining > eps)
+            row_miss = ns.any(miss, axis=1)
+            done = row_miss | (now >= hz - eps)
+            newly = done & live
+            if not host or ns.any(newly):
+                if not host or ns.any(row_miss):
+                    # Tardiness-proximity: a missing job contributes
+                    # -remaining (the scalar DeadlineMiss.remaining,
+                    # negated).  A missing row is necessarily live, so
+                    # this nests under the newly-dead branch.
+                    slack_min = ns.minimum(
+                        slack_min,
+                        ns.min(ns.where(miss, -remaining, INF), axis=1),
+                    )
+                # Freeze outcomes and neutralize the dying rows in place;
+                # scatter and compaction wait for the end of the pass.
+                row_ok = row_ok & ~row_miss
+                row_events = ns.where(newly, iteration, row_events)
+                live = live & ~done
+                newly_col = newly[:, None]
+                next_rel = ns.where(newly_col, INF, next_rel)
+                abs_dl = ns.where(newly_col, INF, abs_dl)
+                area_m = ns.where(newly_col, INF, area_m)
+                if host and not ns.any(live):
+                    break
+
+            # -- releases due at the new `now` (one job per task slot).
+            release_due()
+
+        # -- end of pass: one host sync — read liveness back, scatter the
+        #    frozen verdicts of every row that died this pass, compact.
+        live_h = ns.asnumpy(live)
+        if not live_h.all():
+            gone = ~live_h
+            decided = idx[gone]
+            out_ok[decided] = ns.asnumpy(row_ok)[gone]
+            out_exceeded[decided] = ns.asnumpy(row_exc)[gone]
+            out_events[decided] = ns.asnumpy(row_events)[gone]
+            out_slack[decided] = ns.asnumpy(slack_min)[gone]
+            compact(live, live_h)
 
     return SimBatchResult(
         schedulable=out_ok,
@@ -836,4 +1176,11 @@ def simulate_batch(
         mode=mode,
         policy=result_policy,
         release=release,
+        kernel_passes=kernel_passes,
+        event_steps=event_steps,
     )
+
+
+def _simulate_shard(kwargs: dict) -> SimBatchResult:
+    """Top-level (picklable) worker for the ``sim_workers`` shard pool."""
+    return simulate_batch(**kwargs)

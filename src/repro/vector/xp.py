@@ -123,6 +123,14 @@ class ArrayBackend:
         """Move a host uint64 bitmap into this backend's bitmap dtype."""
         return self.asarray(words)
 
+    def synchronize(self) -> None:
+        """Block until all queued device work is done (no-op on host).
+
+        Benchmarks must call this before reading the clock: device
+        backends enqueue kernels asynchronously, so without a sync a
+        timing loop measures launch latency, not execution.  Host
+        backends execute eagerly and return immediately."""
+
     # -- dtype shims --------------------------------------------------------
 
     #: dtype of placement bitmap words on this backend.
@@ -212,6 +220,9 @@ class CupyBackend(ArrayBackend):
     def asnumpy(self, a: Any) -> "numpy.ndarray":
         return self._mod.asnumpy(a)
 
+    def synchronize(self) -> None:  # pragma: no cover - needs CUDA
+        self._mod.cuda.get_current_stream().synchronize()
+
     def lexsort(self, keys: Sequence[Any], axis: int = -1) -> Any:
         """``numpy.lexsort`` semantics (last key primary, tuple of keys,
         ``axis`` keyword) — cupy.lexsort only takes a stacked array and
@@ -279,6 +290,10 @@ class TorchBackend(ArrayBackend):
         if self._mod.is_tensor(a):
             return a.detach().cpu().numpy()
         return numpy.asarray(a)
+
+    def synchronize(self) -> None:
+        if self.is_device:  # pragma: no cover - needs CUDA
+            self._mod.cuda.synchronize(self._device)
 
     def bitmap_from_host(self, words: "numpy.ndarray") -> Any:
         as_i64 = numpy.ascontiguousarray(words).view(numpy.int64).copy()

@@ -37,8 +37,11 @@ from repro.sim.simulator import (
 from repro.sim.sporadic import sample_release_schedule, simulate_release_schedule
 from repro.util.rngutil import rng_from_seed
 from repro.vector.batch import TaskSetBatch, generate_batch
+from repro.vector import xp as xp_backends
 from repro.vector.sim_vec import (
+    SIM_WORKERS_ENV,
     default_horizon_batch,
+    resolve_sim_workers,
     sample_offsets_batch,
     sample_release_times_batch,
     simulate_batch,
@@ -724,3 +727,185 @@ class TestValidation:
             simulate_batch(self._tiny(), 10, max_events=0)
         with pytest.raises(ValueError):
             simulate_batch(self._tiny(), 10, horizon_factor=0)
+
+
+def _assert_results_equal(a, b, counters=False):
+    """Every per-row field of two SimBatchResults, bit-for-bit."""
+    assert (a.schedulable == b.schedulable).all()
+    assert (a.budget_exceeded == b.budget_exceeded).all()
+    assert (a.events == b.events).all()
+    assert np.array_equal(a.horizon, b.horizon)
+    assert np.array_equal(a.min_slack, b.min_slack, equal_nan=True)
+    if counters:
+        assert a.kernel_passes == b.kernel_passes
+        assert a.event_steps == b.event_steps
+
+
+@pytest.mark.usefixtures("array_backend")
+class TestFusionKnifeEdges:
+    """Fused stepping must be invisible in every per-row output."""
+
+    def test_fuse_one_equals_fused(self):
+        batch = _batch(paper_unconstrained(10), seed=21)
+        for sched_name, _ in SCHEDULERS:
+            base = simulate_batch(batch, CAPACITY, sched_name, fuse=1)
+            # fuse=1 is the unfused path: one event step per kernel pass
+            assert base.kernel_passes == base.event_steps
+            for fuse in (2, 8):
+                fused = simulate_batch(batch, CAPACITY, sched_name, fuse=fuse)
+                _assert_results_equal(base, fused)
+                assert fused.event_steps == base.event_steps
+                assert fused.kernel_passes <= base.kernel_passes
+
+    def test_fuse_beyond_events_per_row(self):
+        """K larger than any row's event count: everything decides in
+        very few passes, outputs untouched."""
+        batch = _batch(paper_unconstrained(4), seed=22, count=10)
+        base = simulate_batch(batch, CAPACITY, "EDF-NF", fuse=1)
+        huge = simulate_batch(batch, CAPACITY, "EDF-NF", fuse=10 * base.event_steps)
+        _assert_results_equal(base, huge)
+        assert huge.kernel_passes == 1
+
+    def test_nf_select_parity(self):
+        batch = _batch(paper_unconstrained(10), seed=23)
+        for fuse in (1, 8):
+            greedy = simulate_batch(
+                batch, CAPACITY, "EDF-NF", fuse=fuse, nf_select="greedy"
+            )
+            batched = simulate_batch(
+                batch, CAPACITY, "EDF-NF", fuse=fuse, nf_select="batched"
+            )
+            _assert_results_equal(greedy, batched, counters=True)
+
+    def test_max_events_exhaustion_mid_chunk(self):
+        """The budget counts events, not passes: a budget that runs out
+        in the middle of a fused chunk must match the unfused verdicts."""
+        batch = _batch(paper_unconstrained(10), seed=24)
+        base = simulate_batch(batch, CAPACITY, "EDF-NF", max_events=5, fuse=1)
+        assert base.budget_exceeded.any()  # the knife edge is exercised
+        for fuse in (2, 4, 8):
+            fused = simulate_batch(batch, CAPACITY, "EDF-NF", max_events=5, fuse=fuse)
+            _assert_results_equal(base, fused)
+        assert (base.events[xp_backends.asnumpy(base.budget_exceeded)] == 6).all()
+
+    def test_instrumentation_counters(self):
+        batch = _batch(paper_unconstrained(10), seed=25)
+        res = simulate_batch(batch, CAPACITY, "EDF-NF", fuse=8)
+        assert res.kernel_passes >= 1
+        assert res.event_steps >= res.kernel_passes
+        assert res.fusion_factor == pytest.approx(
+            res.event_steps / res.kernel_passes
+        )
+        assert int(res.events.max()) <= res.event_steps
+
+    def test_fuse_validation(self):
+        batch = _batch(paper_unconstrained(4), seed=26, count=5)
+        with pytest.raises(ValueError):
+            simulate_batch(batch, CAPACITY, fuse=0)
+        with pytest.raises(ValueError):
+            simulate_batch(batch, CAPACITY, fuse=1.5)
+        with pytest.raises(ValueError):
+            simulate_batch(batch, CAPACITY, nf_select="bogus")
+
+
+class TestShardingKnifeEdges:
+    """sim_workers must be invisible in every per-row output.
+
+    Process pools are numpy-only here: the backend-parametrized
+    equivalence above already pins fused verdicts per backend, and the
+    sharded path re-enters ``simulate_batch`` per shard with the same
+    backend name, so numpy sharding plus per-backend fusion covers the
+    matrix without forking device contexts.
+    """
+
+    def test_not_divisible_and_prime_batch(self):
+        full = _batch(paper_unconstrained(10), seed=31)
+        batch = full.rows(slice(0, 29))  # prime: indivisible by any worker count
+        assert batch.count == 29
+        serial = simulate_batch(batch, CAPACITY, "EDF-NF", sim_workers=1)
+        for workers in (2, 3, 7):
+            sharded = simulate_batch(
+                batch, CAPACITY, "EDF-NF", sim_workers=workers
+            )
+            _assert_results_equal(serial, sharded)
+
+    def test_single_row_batch(self):
+        batch = _batch(paper_unconstrained(4), seed=32, count=3)
+        one = TaskSetBatch(
+            batch.wcet[:1], batch.period[:1], batch.deadline[:1], batch.area[:1]
+        )
+        serial = simulate_batch(one, CAPACITY, "EDF-NF", sim_workers=1)
+        sharded = simulate_batch(one, CAPACITY, "EDF-NF", sim_workers=4)
+        _assert_results_equal(serial, sharded, counters=True)
+
+    def test_empty_batch(self):
+        empty = TaskSetBatch(
+            np.empty((0, 3)), np.empty((0, 3)), np.empty((0, 3)), np.empty((0, 3))
+        )
+        res = simulate_batch(empty, CAPACITY, "EDF-NF", sim_workers=4, fuse=8)
+        assert res.schedulable.shape == (0,)
+        assert res.kernel_passes == 0 and res.event_steps == 0
+
+    def test_sharded_offsets_and_sporadic(self):
+        batch = _batch(paper_unconstrained(10), seed=33)
+        offsets = sample_offsets_batch(batch, rng_from_seed(34))
+        serial = simulate_batch(batch, CAPACITY, "EDF-NF", offsets=offsets)
+        sharded = simulate_batch(
+            batch, CAPACITY, "EDF-NF", offsets=offsets, sim_workers=3
+        )
+        _assert_results_equal(serial, sharded)
+        # sporadic: the release schedules are sampled from the full-batch
+        # stream *before* the split, so shards replay identical draws
+        spo_serial = simulate_batch(
+            batch, CAPACITY, "EDF-NF",
+            release="sporadic", jitter=0.4, rng=rng_from_seed(35),
+        )
+        spo_sharded = simulate_batch(
+            batch, CAPACITY, "EDF-NF",
+            release="sporadic", jitter=0.4, rng=rng_from_seed(35), sim_workers=3,
+        )
+        _assert_results_equal(spo_serial, spo_sharded)
+
+    def test_shard_counters_sum_to_shard_work(self):
+        """Counters account the work actually done: each shard steps its
+        own rows, so the sharded totals exceed the serial globals while
+        the per-row ``events`` stay bit-identical."""
+        batch = _batch(paper_unconstrained(10), seed=36)
+        serial = simulate_batch(batch, CAPACITY, "EDF-NF", sim_workers=1)
+        sharded = simulate_batch(batch, CAPACITY, "EDF-NF", sim_workers=3)
+        assert sharded.event_steps >= serial.event_steps
+        assert sharded.kernel_passes >= serial.kernel_passes
+        assert (serial.events == sharded.events).all()
+
+    def test_device_backend_forces_serial(self, monkeypatch):
+        batch = _batch(paper_unconstrained(4), seed=37, count=6)
+        ns = xp_backends.get_backend("numpy")
+        serial = simulate_batch(batch, CAPACITY, "EDF-NF")
+        monkeypatch.setattr(ns, "is_device", True)
+        with pytest.warns(RuntimeWarning, match="serial"):
+            forced = simulate_batch(batch, CAPACITY, "EDF-NF", sim_workers=4)
+        _assert_results_equal(serial, forced)
+        # device passes may pad trailing no-op steps inside the last
+        # chunk (the all-rows-dead early break is host-only), so only
+        # the pass count is pinned, not event_steps
+        assert forced.kernel_passes == serial.kernel_passes
+
+    def test_resolve_sim_workers_precedence(self, monkeypatch):
+        monkeypatch.delenv(SIM_WORKERS_ENV, raising=False)
+        assert resolve_sim_workers(None) == 1
+        assert resolve_sim_workers(3) == 3
+        monkeypatch.setenv(SIM_WORKERS_ENV, "5")
+        assert resolve_sim_workers(None) == 5
+        assert resolve_sim_workers(2) == 2  # kwarg beats env
+        with pytest.raises(ValueError):
+            resolve_sim_workers(0)
+        monkeypatch.setenv(SIM_WORKERS_ENV, "zero")
+        with pytest.raises(ValueError):
+            resolve_sim_workers(None)
+
+    def test_env_var_drives_simulate_batch(self, monkeypatch):
+        batch = _batch(paper_unconstrained(4), seed=38, count=9)
+        serial = simulate_batch(batch, CAPACITY, "EDF-NF")
+        monkeypatch.setenv(SIM_WORKERS_ENV, "2")
+        via_env = simulate_batch(batch, CAPACITY, "EDF-NF")
+        _assert_results_equal(serial, via_env)
