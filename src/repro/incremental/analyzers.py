@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from numbers import Real
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dp import DpTest
 from repro.core.gn1 import GN1_DETAIL, Gn1Test
@@ -57,7 +57,7 @@ def _lam_key(lam: Real) -> _LamKey:
 class _AnalyzerBase:
     """Shared sync-by-diff skeleton; subclasses implement the cache ops."""
 
-    def __init__(self, test, fpga: Fpga):
+    def __init__(self, test: Any, fpga: Fpga) -> None:
         self.test = test
         self.fpga = fpga
         self._tasks: List[Task] = []
@@ -149,7 +149,7 @@ class DpAnalyzer(_AnalyzerBase):
     arithmetic) and re-sums them in task order at query time.
     """
 
-    def __init__(self, test: DpTest, fpga: Fpga):
+    def __init__(self, test: DpTest, fpga: Fpga) -> None:
         super().__init__(test, fpga)
         self._ut: Dict[str, Real] = {}
         self._us: Dict[str, Real] = {}
@@ -192,7 +192,7 @@ class Gn1Analyzer(_AnalyzerBase):
     test's ``O(N²)``.  Query-time verdicts re-sum each row in task order.
     """
 
-    def __init__(self, test: Gn1Test, fpga: Fpga):
+    def __init__(self, test: Gn1Test, fpga: Fpga) -> None:
         super().__init__(test, fpga)
         self._slack: Dict[str, Real] = {}
         self._rhs: Dict[str, Real] = {}
@@ -280,7 +280,7 @@ class Gn2Analyzer(_AnalyzerBase):
     detail string) identical.
     """
 
-    def __init__(self, test: Gn2Test, fpga: Fpga):
+    def __init__(self, test: Gn2Test, fpga: Fpga) -> None:
         super().__init__(test, fpga)
         self._u: Dict[str, Real] = {}  # time utilization (λ minimum point)
         self._pool: Dict[str, List[Real]] = {}  # candidate contributions

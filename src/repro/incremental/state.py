@@ -71,7 +71,7 @@ class AdmissionState:
         dp: DpTest = dp_test,
         gn1: Gn1Test = gn1_test,
         gn2: Gn2Test = gn2_test,
-    ):
+    ) -> None:
         self.fpga = fpga
         self._tasks: List[Task] = []
         self._index: Dict[str, int] = {}

@@ -1,0 +1,57 @@
+"""AST-based invariant linter for the reproduction's contracts.
+
+Every parity guarantee this repo rests on — bit-identical verdicts vs.
+the scalar reference, the :mod:`repro.vector.xp` rule that no kernel
+imports numpy directly, lazy-only torch/cupy imports, float64 pinning
+at batch boundaries, host-side seeded sampling — is a *structural*
+property of the source.  This package turns those prose contracts
+(ROADMAP.md "Array backends", the module docstrings of
+:mod:`repro.core` and :mod:`repro.vector`) into machine-checked rules
+over the Python AST, gated in CI.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.lint src            # lint the tree
+    PYTHONPATH=src python -m repro.lint --list-rules   # rule catalogue
+
+Rules (see :mod:`repro.lint.rules` and the README "Invariants & lint"
+section for the contract each one enforces):
+
+====== =====================================================================
+RL001  no direct numpy import inside ``repro.vector`` (only ``xp.py``)
+RL002  no module-top-level ``torch``/``cupy`` import (lazy-only)
+RL003  no RNG construction/draws outside the sampler/generation modules
+RL004  no ``float32`` outside pragma-annotated pin sites in ``repro.vector``
+RL005  no implicit host-device sync inside kernel pass loops
+RL006  no wall-clock calls under ``src/repro`` (benchmarks live outside)
+RL007  import layering between the ``repro.*`` packages
+RL008  unused ``# repro-lint: disable=`` suppression (meta-rule)
+====== =====================================================================
+
+Deliberate exceptions are annotated in-source::
+
+    x = backend.float32  # repro-lint: disable=RL004 -- reason
+
+A pragma that stops matching any finding is itself reported (RL008), so
+exemptions cannot silently outlive the code they excuse.
+
+This package imports nothing from the rest of ``repro`` (it sits at the
+bottom of the RL007 layering, next to ``repro.util``) and has no
+third-party dependencies, so it is importable in any environment the
+test suite runs in.
+"""
+
+from repro.lint.engine import LintResult, lint_file, lint_paths, lint_source
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES, Rule, all_rule_ids
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "all_rule_ids",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

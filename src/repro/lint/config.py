@@ -1,0 +1,152 @@
+"""Allowlist and layering tables the rules consult.
+
+Everything scoped or exempted lives here, in one reviewable place — a
+rule module never hard-codes a module name.  Scopes and allowlists are
+dotted-module *prefixes* (``"repro.gen"`` covers ``repro.gen.uunifast``);
+an entry matches a module when it equals the module or is a proper
+dotted prefix of it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+#: Modules (prefixes) that form the backend-pluggable kernel surface:
+#: inside these, importing numpy directly would fork the array namespace
+#: and silently break torch/cupy parity (RL001).
+KERNEL_PACKAGES: Tuple[str, ...] = ("repro.vector",)
+
+#: The sanctioned numpy touchpoints inside/beside the kernel surface:
+#: ``repro.vector.xp`` is *the* resolver (its job is importing numpy);
+#: ``repro.search.patterns`` is the documented numpy-only unit-cube ->
+#: legal-pattern mapping shared with the scalar twins (kept off the
+#: backend namespace deliberately, see its module docstring).
+NUMPY_ALLOWED_MODULES: Tuple[str, ...] = (
+    "repro.vector.xp",
+    "repro.search.patterns",
+)
+
+#: Libraries that must never be imported at module top level anywhere
+#: under ``src`` (RL002): both are optional accelerators resolved lazily
+#: by ``repro.vector.xp``; a top-level import would make the whole tree
+#: unimportable without them installed.
+LAZY_ONLY_LIBRARIES: Tuple[str, ...] = ("torch", "cupy")
+
+#: Modules (prefixes) allowed to construct RNGs or draw from global RNG
+#: state (RL003): the seeded-sampler/generation layer.  Everything else
+#: — vector kernels above all — must be deterministic in its inputs.
+RNG_ALLOWED_MODULES: Tuple[str, ...] = (
+    "repro.util.rngutil",     # the canonical seed -> Generator helpers
+    "repro.gen",              # taskset generation (uunifast, randfixedsum, sweeps)
+    "repro.fpga2d.gen2d",     # 2D-device taskset generation
+    "repro.sim.offsets",      # release-offset pattern sampling
+    "repro.sim.sporadic",     # sporadic inter-arrival sampling
+    "repro.search",           # adaptive proposal machinery (host-side, seeded)
+    "repro.vector.batch",     # host-side batch generation (draw order pinned)
+)
+
+#: Method names that read as RNG draws when called inside the strict
+#: kernel modules (RL003's second tier — catches a generator object
+#: smuggled into a kernel even without a construction site).
+RNG_DRAW_METHODS: Tuple[str, ...] = (
+    "random", "uniform", "normal", "standard_normal", "integers",
+    "choice", "shuffle", "permutation", "exponential", "poisson",
+)
+
+#: Kernel modules held to the strict determinism tier of RL003 and the
+#: host-sync ban of RL005: the fused pass loops of the batched
+#: simulator and the placement kernels.
+KERNEL_STRICT_MODULES: Tuple[str, ...] = (
+    "repro.vector.sim_vec",
+    "repro.vector.placement_vec",
+    "repro.vector.dp_vec",
+    "repro.vector.gn1_vec",
+    "repro.vector.gn2_vec",
+)
+
+#: Modules where RL005 applies (host-device sync calls inside loops):
+#: the two kernel modules with pass loops.  ``.get()`` is only flagged
+#: zero-arg (cupy's device->host transfer); ``d.get(key)`` stays legal.
+SYNC_SCOPED_MODULES: Tuple[str, ...] = (
+    "repro.vector.sim_vec",
+    "repro.vector.placement_vec",
+)
+
+#: Attribute paths whose *call* means "block on the device" (RL005).
+HOST_SYNC_METHODS: Tuple[str, ...] = ("item", "cpu", "tolist", "get")
+
+#: ``module -> attribute`` pairs that read wall clocks (RL006).  The
+#: repro tree must stay deterministic and profiler-friendly; timing
+#: belongs in ``benchmarks/`` (outside ``src``) or behind
+#: ``xp.synchronize()``-bracketed pytest-benchmark runs.
+WALL_CLOCK_CALLS: Tuple[Tuple[str, str], ...] = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "process_time"),
+    ("time", "process_time_ns"),
+    ("timeit", "default_timer"),
+)
+
+#: Modules (prefixes) exempt from RL006.  Empty today: nothing under
+#: ``src/repro`` reads a wall clock.
+WALL_CLOCK_ALLOWED_MODULES: Tuple[str, ...] = ()
+
+#: RL007 import layering.  A module may import only modules whose layer
+#: is <= its own.  Matching is longest-dotted-prefix, with exact module
+#: names taking precedence over package prefixes — that is how
+#: ``repro.sim.offsets``/``repro.sim.sporadic`` (the scalar twins built
+#: *on top of* ``repro.search``) and the ``repro.sim`` package
+#: ``__init__`` that re-exports them sit above the rest of their
+#: package.  Function-body imports are exempt (the sanctioned
+#: cycle-breaker, same philosophy as RL002's lazy-only libraries).
+LAYERS: Dict[str, int] = {
+    "repro.util": 0,
+    "repro.lint": 0,          # imports nothing from the rest of the tree
+    "repro.model": 1,
+    "repro.fpga": 2,
+    "repro.gen": 2,
+    "repro.core": 3,
+    "repro.uni": 3,
+    "repro.sched": 4,
+    "repro.fpga2d": 4,
+    "repro.mp": 4,
+    "repro.sim": 5,
+    "repro.vector": 6,
+    "repro.search": 7,
+    "repro.sim.offsets": 7,   # scalar twin of repro.search.drivers
+    "repro.sim.sporadic": 7,  # scalar twin of repro.search.drivers
+    "repro.sim.__init__": 7,  # re-exports the twins
+    "repro.incremental": 8,
+    "repro.experiments": 9,
+    "repro.__init__": 9,      # the public facade re-exports from everywhere
+}
+
+
+def module_matches(modname: str, entries: Iterable[str]) -> bool:
+    """True when ``modname`` equals or lives under any dotted prefix."""
+    for entry in entries:
+        if modname == entry or modname.startswith(entry + "."):
+            return True
+    return False
+
+
+def layer_of(modname: str) -> Optional[int]:
+    """RL007 layer for ``modname`` (longest dotted-prefix match).
+
+    A package's ``__init__`` can be pinned separately from the package
+    prefix via an explicit ``"pkg.__init__"`` entry.  Returns ``None``
+    for modules outside the table (they are not layered).
+    """
+    if modname + ".__init__" in LAYERS:
+        # Exact __init__ pin: only when modname names the package itself.
+        return LAYERS[modname + ".__init__"]
+    parts = modname.split(".")
+    for i in range(len(parts), 0, -1):
+        prefix = ".".join(parts[:i])
+        if prefix in LAYERS:
+            return LAYERS[prefix]
+    return None

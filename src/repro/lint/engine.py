@@ -1,0 +1,174 @@
+"""Lint engine: file discovery, module naming, rule dispatch.
+
+Module names are derived from the filesystem (walking up the
+``__init__.py`` chain), so ``python -m repro.lint src`` scopes every
+rule correctly no matter the working directory.  Tests that lint
+fixture snippets *as if* they lived at a given dotted path use
+:func:`lint_source` with an explicit ``modname``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES, ModuleContext
+from repro.lint.suppress import apply_suppressions, collect_suppressions
+
+#: Pseudo-rule for files the parser rejects: an unparsable file cannot
+#: be checked, which is itself a finding (and never suppressible —
+#: pragmas live in source we could not read structurally).
+PARSE_ERROR_ID = "RL009"
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> dict:
+        out: dict = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.files_checked += other.files_checked
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name by walking up the ``__init__.py`` chain.
+
+    ``src/repro/vector/xp.py`` -> ``repro.vector.xp``;
+    ``src/repro/sim/__init__.py`` -> ``repro.sim``.  A file outside any
+    package keeps its bare stem (scoped rules then simply never match).
+    """
+    path = os.path.abspath(path)
+    stem = os.path.splitext(os.path.basename(path))[0]
+    parts = [] if stem == "__init__" else [stem]
+    d = os.path.dirname(path)
+    while os.path.isfile(os.path.join(d, "__init__.py")):
+        parts.insert(0, os.path.basename(d))
+        parent = os.path.dirname(d)
+        if parent == d:
+            break
+        d = parent
+    return ".".join(parts) or stem
+
+
+def _selected_rules(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> List[str]:
+    ids: Set[str] = set(select) if select else set(RULES)
+    unknown = ids - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    if ignore:
+        ids -= set(ignore)
+    return sorted(ids)
+
+
+def lint_source(
+    source: str,
+    modname: str,
+    path: str = "<string>",
+    *,
+    is_package: bool = False,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint one source blob under an explicit module identity."""
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=PARSE_ERROR_ID,
+                message=f"syntax error: {exc.msg}",
+            )
+        )
+        return result
+    lines = source.splitlines()
+    ctx = ModuleContext(
+        path=path,
+        modname=modname,
+        tree=tree,
+        source_lines=lines,
+        is_package=is_package,
+    )
+    raw: List[Finding] = []
+    for rule_id in _selected_rules(select, ignore):
+        raw.extend(RULES[rule_id]().check(ctx))
+    result.findings = apply_suppressions(raw, collect_suppressions(source), path)
+    return result
+
+
+def lint_file(
+    path: str,
+    modname: Optional[str] = None,
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintResult:
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    if modname is None:
+        modname = module_name_for(path)
+    return lint_source(
+        source,
+        modname,
+        path=path,
+        is_package=os.path.basename(path) == "__init__.py",
+        select=select,
+        ignore=ignore,
+    )
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, dirs, files in os.walk(p):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in ("__pycache__", ".git")
+                )
+                out.extend(
+                    os.path.join(root, f)
+                    for f in sorted(files)
+                    if f.endswith(".py")
+                )
+        elif p.endswith(".py"):
+            out.append(p)
+        else:
+            raise FileNotFoundError(f"not a .py file or directory: {p}")
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths``; findings sorted."""
+    rule_ids = _selected_rules(select, ignore)  # validate up front
+    result = LintResult()
+    for path in discover_files(paths):
+        result.extend(lint_file(path, select=rule_ids))
+    result.findings.sort()
+    return result

@@ -1,0 +1,50 @@
+"""The unit of lint output: one finding, pinned to a rule and a line."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Orderable so reports are stable: by path, then line/col, then rule.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: suppression pragmas matched against this finding before reporting;
+    #: a suppressed finding is dropped from the report but still counts
+    #: as "using" its pragma (RL008 unused-suppression bookkeeping).
+    suppressed: bool = field(default=False, compare=False)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        """The one-line text-reporter form: ``path:line:col: RLxxx message``."""
+        return f"{self.location()}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_json(cls, obj: Dict[str, Any]) -> "Finding":
+        return cls(
+            path=str(obj["path"]),
+            line=int(obj["line"]),
+            col=int(obj["col"]),
+            rule=str(obj["rule"]),
+            message=str(obj["message"]),
+        )

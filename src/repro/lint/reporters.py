@@ -1,0 +1,57 @@
+"""Text and JSON reporters over a :class:`~repro.lint.engine.LintResult`."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+
+JSON_FORMAT_VERSION = 1
+
+
+def text_report(result: LintResult) -> str:
+    """One ``path:line:col: RLxxx message`` line per finding + summary."""
+    lines: List[str] = [f.render() for f in result.findings]
+    if result.clean:
+        lines.append(
+            f"repro-lint: {result.files_checked} file(s) checked, clean"
+        )
+    else:
+        by_rule = ", ".join(
+            f"{rule} x{n}" for rule, n in result.counts_by_rule().items()
+        )
+        lines.append(
+            f"repro-lint: {len(result.findings)} finding(s) in "
+            f"{result.files_checked} file(s) checked ({by_rule})"
+        )
+    return "\n".join(lines)
+
+
+def json_report(result: LintResult) -> Dict[str, Any]:
+    """JSON-ready dict; round-trips through :func:`result_from_json`."""
+    return {
+        "version": JSON_FORMAT_VERSION,
+        "clean": result.clean,
+        "files_checked": result.files_checked,
+        "counts_by_rule": result.counts_by_rule(),
+        "findings": [f.to_json() for f in result.findings],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(json_report(result), indent=2, sort_keys=True) + "\n"
+
+
+def result_from_json(text: str) -> LintResult:
+    """Rebuild a :class:`LintResult` from :func:`render_json` output."""
+    obj = json.loads(text)
+    if obj.get("version") != JSON_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported repro-lint report version: {obj.get('version')!r}"
+        )
+    return LintResult(
+        findings=[Finding.from_json(f) for f in obj["findings"]],
+        files_checked=int(obj["files_checked"]),
+    )

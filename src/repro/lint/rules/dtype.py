@@ -1,0 +1,79 @@
+"""RL004 — float64 pinning: no ``float32`` in the kernel surface."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint import config
+from repro.lint.findings import Finding
+from repro.lint.rules import ModuleContext, Rule, register
+
+
+@register
+class Float32InKernels(Rule):
+    """RL004 — ``repro.vector`` computes in float64, full stop.
+
+    Verdict parity with the scalar reference holds because every batch
+    boundary pins inputs to float64 (``_pinned``, the ``asarray(...,
+    dtype=ns.float64)`` entries); a ``float32`` dtype anywhere in the
+    kernel surface would silently run knife-edge comparisons at half
+    precision on some backend.  The only sanctioned appearances are the
+    pin sites themselves (the namespace attribute kernels use to
+    *detect* f32 inputs), each annotated with a suppression pragma
+    carrying its justification.
+    """
+
+    id = "RL004"
+    name = "float32-in-kernels"
+    summary = (
+        "no float32 literal/dtype inside repro.vector outside "
+        "pragma-annotated pin sites (float64 is pinned at batch "
+        "boundaries)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not config.module_matches(ctx.modname, config.KERNEL_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "float32":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "float32 dtype attribute in the kernel surface; "
+                    "kernels pin float64 at batch boundaries — if this is "
+                    "a deliberate pin-site helper, annotate it with "
+                    "# repro-lint: disable=RL004 -- <why>",
+                )
+            elif isinstance(node, ast.Name) and node.id == "float32":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare float32 name in the kernel surface; kernels pin "
+                    "float64 at batch boundaries",
+                )
+            elif isinstance(node, ast.Call):
+                # dtype="float32" / astype("float32") string forms.
+                strings = [
+                    kw.value
+                    for kw in node.keywords
+                    if kw.arg == "dtype"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value == "float32"
+                ]
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "astype"
+                ):
+                    strings.extend(
+                        a
+                        for a in node.args
+                        if isinstance(a, ast.Constant) and a.value == "float32"
+                    )
+                for s in strings:
+                    yield self.finding(
+                        ctx,
+                        s,
+                        'dtype "float32" string in the kernel surface; '
+                        "kernels pin float64 at batch boundaries",
+                    )

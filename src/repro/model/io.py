@@ -13,10 +13,13 @@ import json
 from fractions import Fraction
 from numbers import Real
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import TYPE_CHECKING, Any, Dict, Union
 
-from repro.fpga.device import Fpga, StaticRegion
 from repro.model.task import Task, TaskSet
+
+if TYPE_CHECKING:  # repro.model sits below repro.fpga (RL007); the
+    from repro.fpga.device import Fpga  # device (de)serializers import
+    # it lazily at call time instead of at module scope.
 
 FORMAT_VERSION = 1
 
@@ -84,7 +87,7 @@ def taskset_from_dict(data: Dict[str, Any]) -> TaskSet:
     return TaskSet(task_from_dict(d) for d in data["tasks"])
 
 
-def fpga_to_dict(fpga: Fpga) -> Dict[str, Any]:
+def fpga_to_dict(fpga: "Fpga") -> Dict[str, Any]:
     """JSON-ready dict for a device (width + static regions)."""
     return {
         "format": FORMAT_VERSION,
@@ -95,8 +98,10 @@ def fpga_to_dict(fpga: Fpga) -> Dict[str, Any]:
     }
 
 
-def fpga_from_dict(data: Dict[str, Any]) -> Fpga:
+def fpga_from_dict(data: Dict[str, Any]) -> "Fpga":
     """Inverse of :func:`fpga_to_dict`."""
+    from repro.fpga.device import Fpga, StaticRegion
+
     return Fpga(
         width=int(data["width"]),
         static_regions=tuple(

@@ -99,7 +99,7 @@ class ArrayBackend:
     #: bit-identical float reduction order is not guaranteed.
     is_device: bool = False
 
-    def __init__(self, mod: Any):
+    def __init__(self, mod: Any) -> None:
         self._mod = mod
         self._low_bits_cache: Any = None
         self._col_index_cache: Dict[int, Any] = {}
@@ -271,7 +271,7 @@ class TorchBackend(ArrayBackend):
         self.is_device = device != "cpu"
         # dtype attributes, set eagerly so __getattr__ never guesses.
         self.float64 = mod.float64
-        self.float32 = mod.float32
+        self.float32 = mod.float32  # repro-lint: disable=RL004 -- the namespace must expose float32 so the batch-boundary pins can detect and widen f32 inputs
         self.int64 = mod.int64
         self.int32 = mod.int32
         self.int16 = mod.int16
@@ -491,7 +491,7 @@ def _make_backend(name: str) -> ArrayBackend:
     raise AssertionError(name)  # pragma: no cover - _normalize guards
 
 
-def get_backend(name: Optional[str] = None) -> ArrayBackend:
+def get_backend(name: "Optional[str | ArrayBackend]" = None) -> ArrayBackend:
     """Resolve an :class:`ArrayBackend` by precedence.
 
     ``name`` (when given) wins; otherwise the :func:`set_backend`

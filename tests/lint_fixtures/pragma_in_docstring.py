@@ -1,0 +1,9 @@
+"""Pragma-shaped text inside strings is inert — this docstring says
+``# repro-lint: disable=RL001 -- example`` and must neither suppress
+anything nor count as an unused pragma (RL008)."""
+
+EXAMPLE = "# repro-lint: disable-file=RL004 -- also inert"
+
+
+def nothing():
+    return EXAMPLE

@@ -1,0 +1,14 @@
+"""RL001 bad: a kernel module importing numpy directly.
+
+Linted as ``repro.vector.kern`` — both the top-level and the
+function-body import are violations (no lazy escape hatch for numpy
+inside the kernel surface).
+"""
+
+import numpy as np  # line 8: RL001
+
+
+def kernel(batch):
+    from numpy import asarray  # line 12: RL001
+
+    return asarray(np.zeros_like(batch))

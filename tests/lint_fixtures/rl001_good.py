@@ -1,0 +1,10 @@
+"""RL001 good: a kernel module computing through the xp namespace."""
+
+from repro.vector import xp
+from repro.vector.xp import host as hnp
+
+
+def kernel(batch, backend=None):
+    ns = xp.resolve(backend)
+    arr = ns.asarray(batch, dtype=ns.float64)
+    return xp.asnumpy(arr), hnp.zeros(3)

@@ -1,0 +1,13 @@
+"""RL002 bad: module-top-level accelerator imports (plain, aliased,
+try-wrapped — all execute at import time)."""
+
+import torch  # line 4: RL002
+
+try:
+    import cupy as cp  # line 7: RL002
+except ImportError:
+    cp = None
+
+
+def run(x):
+    return torch.as_tensor(x)

@@ -1,0 +1,13 @@
+"""RL002 good: lazy function-body resolution and TYPE_CHECKING-only
+imports never execute at module import time."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    import torch
+
+
+def resolve(x) -> "torch.Tensor":
+    import torch  # the sanctioned lazy escape hatch
+
+    return torch.as_tensor(x)

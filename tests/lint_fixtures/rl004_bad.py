@@ -1,0 +1,10 @@
+"""RL004 bad: float32 dtypes in the kernel surface (attribute, string
+keyword, astype-string forms)."""
+
+from repro.vector import xp
+
+
+def kernel(batch, ns):
+    a = ns.asarray(batch, dtype=ns.float32)  # line 8: RL004 (attribute)
+    b = ns.zeros(3, dtype="float32")  # line 9: RL004 (dtype string)
+    return a, b.astype("float32")  # line 10: RL004 (astype string)

@@ -1,0 +1,10 @@
+"""RL004 good: float64 pinning at the batch boundary; "float32" in a
+docstring or comment is not a dtype.  Widening float32 inputs is fine —
+only producing/naming the narrow dtype is flagged."""
+
+from repro.vector import xp
+
+
+def pin(batch, ns):
+    # float32 inputs must widen here, not stay narrow.
+    return ns.asarray(batch, dtype=ns.float64)

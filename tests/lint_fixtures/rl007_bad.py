@@ -1,0 +1,9 @@
+"""RL007 bad (linted as repro.core.newtest): a core module importing
+the experiments layer at module scope."""
+
+from repro.experiments.figures import run_figure  # line 4: RL007
+from repro.model.task import TaskSet
+
+
+def analyze(ts: TaskSet):
+    return run_figure(ts)

@@ -1,0 +1,11 @@
+"""RL007 good (linted as repro.core.newtest): downward imports at
+module scope; an upward reference deferred to a function body."""
+
+from repro.model.task import TaskSet
+from repro.util.mathutil import lcm_all
+
+
+def analyze(ts: TaskSet):
+    from repro.experiments.figures import run_figure  # sanctioned lazy
+
+    return run_figure(ts), lcm_all([int(t.period) for t in ts])

@@ -1,0 +1,4 @@
+"""RL009: a file the parser rejects cannot be checked."""
+
+def broken(:
+    return None

@@ -1,0 +1,15 @@
+"""Suppression forms (linted as repro.vector.kern): every violation
+below carries a pragma, so the file lints clean — and every pragma is
+used, so no RL008 either."""
+
+import numpy as np  # repro-lint: disable=RL001 -- same-line form
+
+# repro-lint: disable=RL001 -- standalone form covers the next line
+from numpy import asarray
+
+
+def kernel(batch, ns):
+    a = ns.asarray(
+        batch, dtype=ns.float32  # repro-lint: disable=RL004 -- deliberate narrow staging copy
+    )
+    return asarray(a), np.zeros(3)

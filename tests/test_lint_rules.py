@@ -1,0 +1,295 @@
+"""`repro.lint` rule engine: fixture pairs per rule, suppression
+pragmas, unused-suppression detection, JSON round-trip, CLI exit codes,
+and the repo-wide gate (``src`` lints clean — the same invariant CI
+enforces)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths, lint_source
+from repro.lint.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
+from repro.lint.engine import PARSE_ERROR_ID, module_name_for
+from repro.lint.reporters import render_json, result_from_json, text_report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def lint_fixture(name, modname, **kwargs):
+    path = FIXTURES / name
+    return lint_source(
+        path.read_text(encoding="utf-8"), modname, path=str(path), **kwargs
+    )
+
+
+def rule_lines(result, rule):
+    return sorted(f.line for f in result.findings if f.rule == rule)
+
+
+# -- good/bad fixture pairs per rule ---------------------------------------
+
+# (bad fixture, modname, rule, expected finding lines)
+BAD_CASES = [
+    ("rl001_bad.py", "repro.vector.kern", "RL001", [8, 12]),
+    ("rl002_bad.py", "repro.experiments.figures", "RL002", [4, 7]),
+    ("rl003_bad.py", "repro.vector.dp_vec", "RL003", [4, 10, 11, 12]),
+    ("rl004_bad.py", "repro.vector.kern", "RL004", [8, 9, 10]),
+    ("rl005_bad.py", "repro.vector.sim_vec", "RL005", [8, 11, 12]),
+    ("rl006_bad.py", "repro.core.newtest", "RL006", [10, 11, 13]),
+    ("rl007_bad.py", "repro.core.newtest", "RL007", [4]),
+]
+
+GOOD_CASES = [
+    ("rl001_good.py", "repro.vector.kern"),
+    ("rl002_good.py", "repro.experiments.figures"),
+    ("rl003_good.py", "repro.gen.custom"),
+    ("rl003_passed_generator.py", "repro.experiments.scoring"),
+    ("rl004_good.py", "repro.vector.kern"),
+    ("rl005_good.py", "repro.vector.sim_vec"),
+    ("rl006_good.py", "repro.core.newtest"),
+    ("rl007_good.py", "repro.core.newtest"),
+]
+
+
+@pytest.mark.parametrize("name,modname,rule,lines", BAD_CASES)
+def test_bad_fixture_flags_rule_at_lines(name, modname, rule, lines):
+    result = lint_fixture(name, modname)
+    assert rule_lines(result, rule) == lines
+    # No stray findings from other rules on these minimal snippets.
+    assert {f.rule for f in result.findings} == {rule}
+
+
+@pytest.mark.parametrize("name,modname", GOOD_CASES)
+def test_good_fixture_is_clean(name, modname):
+    result = lint_fixture(name, modname)
+    assert result.clean, text_report(result)
+
+
+def test_rules_scope_by_module_identity():
+    # The same numpy-importing source is a finding inside repro.vector
+    # and legal outside it (RL001), legal in xp.py and search.patterns.
+    src = "import numpy as np\n"
+    assert not lint_source(src, "repro.gen.custom").findings
+    assert not lint_source(src, "repro.vector.xp").findings
+    assert not lint_source(src, "repro.search.patterns").findings
+    bad = lint_source(src, "repro.vector.kern")
+    assert [f.rule for f in bad.findings] == ["RL001"]
+
+
+def test_rl005_scope_is_the_kernel_pass_modules():
+    src = "def f(xs):\n    for x in xs:\n        x.item()\n"
+    assert lint_source(src, "repro.vector.sim_vec").findings
+    assert lint_source(src, "repro.vector.placement_vec").findings
+    # Outside the pass-loop modules the idiom is not banned.
+    assert not lint_source(src, "repro.vector.batch").findings
+
+
+def test_rl007_layer_table_examples():
+    # The contracts named in the rule: vector/core never import
+    # experiments; model imports nothing above it.
+    for mod in ("repro.vector.kern", "repro.core.newtest"):
+        r = lint_source("import repro.experiments\n", mod)
+        assert [f.rule for f in r.findings] == ["RL007"]
+    r = lint_source("from repro.fpga.device import Fpga\n", "repro.model.custom")
+    assert [f.rule for f in r.findings] == ["RL007"]
+    # Downward is fine, and the scalar-twin exception holds: the
+    # offsets module sits above repro.search by explicit table entry.
+    assert not lint_source(
+        "from repro.search.adaptive import adaptive_pattern_search\n",
+        "repro.sim.offsets",
+    ).findings
+    # ... but the rest of repro.sim does not.
+    assert lint_source(
+        "from repro.search.adaptive import adaptive_pattern_search\n",
+        "repro.sim.simulator",
+    ).findings
+
+
+def test_rl007_relative_imports_resolve():
+    src = "from ..experiments import figures\n"
+    r = lint_source(src, "repro.core.newtest")
+    assert [f.rule for f in r.findings] == ["RL007"]
+    # Package __init__ resolves level-1 to itself: repro/sim/__init__.py
+    # importing .offsets (layer 7) is sanctioned by its own pin.
+    assert not lint_source(
+        "from . import offsets\n", "repro.sim", is_package=True
+    ).findings
+
+
+# -- suppression pragmas ----------------------------------------------------
+
+
+def test_suppressed_fixture_is_clean_and_pragmas_all_used():
+    result = lint_fixture("suppressed.py", "repro.vector.kern")
+    assert result.clean, text_report(result)
+
+
+def test_file_level_multi_id_suppression():
+    result = lint_fixture("suppressed_file_level.py", "repro.vector.kern")
+    assert result.clean, text_report(result)
+
+
+def test_unused_pragmas_are_findings():
+    result = lint_fixture("unused_pragma.py", "repro.vector.kern")
+    assert [f.rule for f in result.findings] == ["RL008", "RL008"]
+    assert rule_lines(result, "RL008") == [4, 6]
+    assert "unused" in result.findings[0].message
+
+
+def test_pragma_in_string_is_inert():
+    result = lint_fixture("pragma_in_docstring.py", "repro.vector.kern")
+    assert result.clean, text_report(result)
+
+
+def test_suppression_does_not_leak_across_lines():
+    src = (
+        "import numpy  # repro-lint: disable=RL001 -- this line only\n"
+        "import numpy.random\n"
+    )
+    result = lint_source(src, "repro.vector.kern")
+    assert [(f.rule, f.line) for f in result.findings] == [("RL001", 2)]
+
+
+def test_syntax_error_reported_as_rl009():
+    result = lint_fixture("rl009_syntax_error.py", "repro.vector.kern")
+    assert [f.rule for f in result.findings] == [PARSE_ERROR_ID]
+    assert "syntax error" in result.findings[0].message
+
+
+# -- reporters --------------------------------------------------------------
+
+
+def test_json_report_round_trips():
+    result = lint_fixture("rl001_bad.py", "repro.vector.kern")
+    rebuilt = result_from_json(render_json(result))
+    assert rebuilt.findings == result.findings
+    assert rebuilt.files_checked == result.files_checked
+    assert not rebuilt.clean
+
+
+def test_json_report_shape():
+    obj = json.loads(render_json(lint_fixture("rl001_bad.py", "repro.vector.kern")))
+    assert obj["version"] == 1
+    assert obj["clean"] is False
+    assert obj["counts_by_rule"] == {"RL001": 2}
+    assert {"path", "line", "col", "rule", "message"} <= set(obj["findings"][0])
+
+
+def test_text_report_location_format():
+    result = lint_fixture("rl001_bad.py", "repro.vector.kern")
+    first = text_report(result).splitlines()[0]
+    assert first.startswith(f"{FIXTURES / 'rl001_bad.py'}:8:0: RL001 ")
+
+
+# -- engine plumbing --------------------------------------------------------
+
+
+def test_module_name_resolution_from_real_tree():
+    assert module_name_for(str(REPO_ROOT / "src/repro/vector/xp.py")) == (
+        "repro.vector.xp"
+    )
+    assert module_name_for(str(REPO_ROOT / "src/repro/sim/__init__.py")) == (
+        "repro.sim"
+    )
+    assert module_name_for(str(REPO_ROOT / "scripts/regenerate_results.py")) == (
+        "regenerate_results"
+    )
+
+
+def test_select_and_ignore():
+    result = lint_fixture("rl003_bad.py", "repro.vector.dp_vec", select=["RL001"])
+    assert result.clean  # the RL003 findings are deselected
+    result = lint_fixture("rl003_bad.py", "repro.vector.dp_vec", ignore=["RL003"])
+    assert result.clean
+    with pytest.raises(ValueError, match="unknown rule"):
+        lint_fixture("rl003_bad.py", "repro.vector.dp_vec", select=["RL999"])
+
+
+def test_repo_src_is_lint_clean():
+    # The CI gate as a tier-1 invariant: the tree must stay clean.
+    result = lint_paths([str(REPO_ROOT / "src")])
+    assert result.clean, text_report(result)
+    assert result.files_checked > 100
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def _seed_tree(tmp_path, kernel_body="def f():\n    return 0\n"):
+    pkg = tmp_path / "src" / "repro" / "vector"
+    pkg.mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "kern.py").write_text(kernel_body)
+    return tmp_path / "src"
+
+
+def test_cli_clean_tree_exits_zero(tmp_path, capsys):
+    src = _seed_tree(tmp_path)
+    assert main([str(src)]) == EXIT_CLEAN
+    assert "clean" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "body,rule,line",
+    [
+        ("import torch\n", "RL002", 1),
+        ("def f():\n    import numpy\n", "RL001", 2),
+        ("from numpy.random import default_rng\nR = default_rng(0)\n", "RL003", 2),
+    ],
+)
+def test_cli_seeded_violation_exits_nonzero_with_location(
+    tmp_path, capsys, body, rule, line
+):
+    src = _seed_tree(tmp_path, body)
+    assert main([str(src)]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    kern = src / "repro" / "vector" / "kern.py"
+    assert f"{kern}:{line}:" in out
+    assert rule in out
+
+
+def test_cli_json_output_file(tmp_path, capsys):
+    src = _seed_tree(tmp_path, "import torch\n")
+    report = tmp_path / "lint-report.json"
+    assert main([str(src), "--output", str(report)]) == EXIT_FINDINGS
+    rebuilt = result_from_json(report.read_text())
+    assert [f.rule for f in rebuilt.findings] == ["RL002"]
+    # --format json writes the same report to stdout.
+    capsys.readouterr()
+    assert main([str(src), "--format", "json"]) == EXIT_FINDINGS
+    assert json.loads(capsys.readouterr().out)["counts_by_rule"] == {"RL002": 1}
+
+
+def test_cli_list_rules_and_errors(tmp_path, capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+                    "RL007", "RL008", "RL009"):
+        assert rule_id in out
+    assert main([str(tmp_path / "missing_dir_or_file")]) == EXIT_ERROR
+    assert main(["--select", "RL999", str(tmp_path)]) == EXIT_ERROR
+
+
+def test_python_dash_m_entry_point(tmp_path):
+    src = _seed_tree(tmp_path, "import cupy\n")
+    env_src = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(src)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == EXIT_FINDINGS
+    assert "RL002" in proc.stdout
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(REPO_ROOT / "src")],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == EXIT_CLEAN, proc.stdout + proc.stderr
