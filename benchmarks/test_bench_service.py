@@ -1,0 +1,185 @@
+"""Admission-service throughput: micro-batched pipeline vs serial baseline.
+
+The PR-9 acceptance criteria:
+
+* the asyncio HTTP service sustains **>= 1000 decisions/second** in one
+  process under closed-loop load at concurrency >= 64;
+* the micro-batched pipeline decides **>= 3x** faster than the
+  per-request serial baseline at the same concurrency, with
+  **bit-identical decisions** (serial replay of the exact same stream).
+
+The workload is steady-state churn around ~60 resident tasks per device
+at moderate utilization — the stationary regime an online admission
+controller operates in, where the delta-certifier absorbs most arrivals
+and the grouped DP/GN1 kernels the residue.  (Near the schedulability
+boundary the portfolio escalates to GN2, whose per-row cost no batching
+amortizes; the randomized parity suite pins correctness there, and the
+incremental engine — the serial path — is the right tool for that
+regime.)  Decisions/sec, the batch-size histogram, the certifier hit
+rate and latency percentiles land in ``extra_info`` ->
+``BENCH_<sha>.json`` so the trajectory is tracked per PR.
+"""
+
+import asyncio
+import time
+from collections import Counter
+
+import pytest
+
+from benchmarks.helpers import bench_scale
+from benchmarks.service_loadtest import closed_loop, open_loop, steady_stream, to_wire
+from repro.fpga.device import Fpga
+from repro.service import AdmissionService, BatchConfig, BatchEngine, HttpServer
+from repro.service.metrics import percentile
+
+DEVICES = ("fpga0", "fpga1", "fpga2", "fpga4")
+SEED = 29
+CONCURRENCY = 64
+HTTP_REQUESTS = 3000
+ENGINE_REQUESTS = 2000
+RESIDENT = 60
+WIDTH = 100
+OPEN_LOOP_RATE = 1500.0  # offered load for the latency-under-load probe
+REQUIRED_DECISIONS_PER_S = 1000.0
+REQUIRED_SPEEDUP = 3.0
+
+
+def _decision_key(decision):
+    return (decision.op, decision.device, decision.name, decision.ok, decision.error)
+
+
+@pytest.mark.bench_smoke
+def test_bench_service_http_sustained(benchmark):
+    """Closed-loop HTTP load at concurrency 64: >= 1000 decisions/s."""
+    benchmark.group = "service-admission"
+    n_requests = HTTP_REQUESTS * bench_scale()
+    stream = steady_stream(SEED, n_requests, DEVICES, RESIDENT)
+    wire_ops = [to_wire(r) for r in stream]
+    measured = {}
+
+    async def scenario():
+        service = AdmissionService(config=BatchConfig(max_batch=128, max_wait=0.002))
+        server = HttpServer(service)
+        await service.start()
+        host, port = await server.start()
+        try:
+            for name in DEVICES:
+                service.create_device(name, WIDTH)
+            elapsed, decisions, latencies = await closed_loop(
+                host, port, wire_ops, CONCURRENCY
+            )
+            measured["elapsed"] = elapsed
+            measured["decisions"] = decisions
+            measured["closed_latencies"] = sorted(latencies)
+            # Open loop on the same (already-churned) service: latency
+            # under a fixed offered load, the SLO-facing distribution.
+            probe = steady_stream(SEED + 1, n_requests // 3, DEVICES, RESIDENT)
+            _, open_latencies = await open_loop(
+                host, port, [to_wire(r) for r in probe], rate=OPEN_LOOP_RATE
+            )
+            measured["open_latencies"] = sorted(open_latencies)
+            measured["snapshot"] = service.snapshot()
+        finally:
+            await server.close()
+            await service.close()
+
+    benchmark.pedantic(lambda: asyncio.run(scenario()), rounds=1, iterations=1)
+
+    decisions_per_s = len(measured["decisions"]) / measured["elapsed"]
+    snap = measured["snapshot"]
+    closed = measured["closed_latencies"]
+    open_lat = measured["open_latencies"]
+    benchmark.extra_info["decisions_per_s"] = decisions_per_s
+    benchmark.extra_info["concurrency"] = CONCURRENCY
+    benchmark.extra_info["requests"] = len(wire_ops)
+    benchmark.extra_info["mean_batch_size"] = snap["mean_batch_size"]
+    benchmark.extra_info["batch_size_histogram"] = snap["batch_size_histogram"]
+    benchmark.extra_info["certifier_hit_rate"] = snap["certifier"]["hit_rate"]
+    benchmark.extra_info["closed_loop_p50_ms"] = percentile(closed, 0.50) * 1e3
+    benchmark.extra_info["closed_loop_p99_ms"] = percentile(closed, 0.99) * 1e3
+    benchmark.extra_info["open_loop_rate_per_s"] = OPEN_LOOP_RATE
+    benchmark.extra_info["open_loop_p50_ms"] = percentile(open_lat, 0.50) * 1e3
+    benchmark.extra_info["open_loop_p99_ms"] = percentile(open_lat, 0.99) * 1e3
+
+    ok = sum(1 for d in measured["decisions"] if "error" not in d)
+    print(
+        f"\nservice HTTP: {len(wire_ops)} decisions in {measured['elapsed']:.2f} s "
+        f"at C={CONCURRENCY} -> {decisions_per_s:.0f}/s ({ok} clean), "
+        f"mean batch {snap['mean_batch_size']:.1f}, "
+        f"certifier hit {snap['certifier']['hit_rate']:.3f}, "
+        f"closed p50/p99 {percentile(closed, 0.5)*1e3:.1f}/"
+        f"{percentile(closed, 0.99)*1e3:.1f} ms, "
+        f"open@{OPEN_LOOP_RATE:.0f}/s p50/p99 {percentile(open_lat, 0.5)*1e3:.1f}/"
+        f"{percentile(open_lat, 0.99)*1e3:.1f} ms"
+    )
+    assert len(measured["decisions"]) == len(wire_ops)
+    assert decisions_per_s >= REQUIRED_DECISIONS_PER_S
+
+
+@pytest.mark.bench_smoke
+def test_bench_service_batched_vs_serial(benchmark):
+    """Batched pipeline >= 3x the serial baseline, decisions identical.
+
+    Concurrency is the coalesced batch: every ``process_batch`` call
+    carries 64 concurrently-pending requests; the baseline decides the
+    exact same stream one request at a time through
+    ``AdmissionState.admit`` — then decision sequences are compared
+    bit-for-bit."""
+    benchmark.group = "service-admission"
+    n_requests = ENGINE_REQUESTS * bench_scale()
+    stream = steady_stream(SEED, n_requests, DEVICES, RESIDENT)
+
+    def make_engine():
+        engine = BatchEngine()
+        for name in DEVICES:
+            engine.add_device(name, Fpga(width=WIDTH))
+        return engine
+
+    def run_batched():
+        engine = make_engine()
+        decisions = []
+        for k in range(0, len(stream), CONCURRENCY):
+            decisions.extend(engine.process_batch(stream[k : k + CONCURRENCY]))
+        return engine, decisions
+
+    (batched_engine, batched_decisions) = benchmark.pedantic(
+        run_batched, rounds=1, iterations=1
+    )
+    batched_time = benchmark.stats.stats.mean
+
+    serial_engine = make_engine()
+    t0 = time.perf_counter()
+    serial_decisions = serial_engine.process_serial(stream)
+    serial_time = time.perf_counter() - t0
+
+    # Bit-identical decisions and final resident sets.
+    assert list(map(_decision_key, batched_decisions)) == list(
+        map(_decision_key, serial_decisions)
+    )
+    for name in DEVICES:
+        assert sorted(t.name for t in batched_engine.device(name).state.tasks) == sorted(
+            t.name for t in serial_engine.device(name).state.tasks
+        )
+
+    batched_rate = len(stream) / batched_time
+    serial_rate = len(stream) / serial_time
+    speedup = batched_rate / serial_rate
+    snap = batched_engine.metrics.snapshot()
+    by_via = Counter(d.via for d in batched_decisions)
+    benchmark.extra_info["requests"] = len(stream)
+    benchmark.extra_info["batch_size"] = CONCURRENCY
+    benchmark.extra_info["batched_decisions_per_s"] = batched_rate
+    benchmark.extra_info["serial_decisions_per_s"] = serial_rate
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["by_via"] = dict(by_via)
+    benchmark.extra_info["certifier_hit_rate"] = snap["certifier"]["hit_rate"]
+    benchmark.extra_info["kernel_calls"] = snap["kernel_calls_total"]
+    benchmark.extra_info["kernel_rows"] = snap["kernel_rows_total"]
+
+    print(
+        f"\nservice engine: batched {batched_rate:.0f}/s "
+        f"({len(stream)} reqs, {batched_time:.3f} s) vs serial "
+        f"{serial_rate:.0f}/s ({serial_time:.3f} s) -> {speedup:.1f}x, "
+        f"via {dict(by_via)}, certifier hit {snap['certifier']['hit_rate']:.3f}"
+    )
+    assert speedup >= REQUIRED_SPEEDUP

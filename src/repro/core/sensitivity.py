@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 from numbers import Real
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.interfaces import SchedulerKind
 from repro.fpga.device import Fpga
@@ -156,16 +156,37 @@ class DeltaCertifier:
         (``state`` is an :class:`~repro.incremental.state.AdmissionState`;
         O(N) on top of the verdict itself)."""
         result = state.portfolio_result(scheduler)
-        self._accepted = result.accepted
         via = result.reason.removeprefix("accepted by member ")
         if result.accepted and via.startswith("GN1"):
-            self._via = "GN1"
+            member = "GN1"
         elif result.accepted and via.startswith("GN2"):
-            self._via = "GN2"
+            member = "GN2"
         elif result.accepted:
-            self._via = "DP"
+            member = "DP"
         else:
-            self._via = ""
+            member = ""
+        self.seed(state, result.accepted, member)
+
+    def seed(self, state, accepted: bool, via: str) -> None:
+        """Rebuild the cache from an externally established verdict.
+
+        The batched admission pipeline (:mod:`repro.service`) learns the
+        current resident set's portfolio verdict from a grouped vector
+        kernel sweep; re-running the exact portfolio just to warm this
+        cache would throw that amortization away.  ``seed`` accepts the
+        verdict — ``accepted`` plus the first accepting member ``via`` in
+        the composite's DP → GN1 → GN2 order (``""`` on rejection) — and
+        rebuilds the O(N) arithmetic cache directly from ``state``'s
+        resident tasks.  Soundness is the caller's contract: the verdict
+        must be the true portfolio verdict of ``state``'s *current*
+        resident set, on the same float64 terms the certificates assume.
+        :meth:`refresh` is exactly ``seed`` fed from the exact
+        incremental verdict.
+        """
+        if via not in ("", "DP", "GN1", "GN2"):
+            raise ValueError(f"via must be '', 'DP', 'GN1' or 'GN2', got {via!r}")
+        self._accepted = bool(accepted)
+        self._via = via if accepted else ""
         dp = state.analyzers["DP"].test
         tasks = list(state.tasks)
         self._cap = state.fpga.capacity
@@ -232,8 +253,10 @@ class DeltaCertifier:
             self._amax = self._abnd = self._min_slack = None
         return self._answer(True)
 
-    def certify_add(self, task: Task) -> Optional[bool]:
-        """Still accepted after admitting ``task``?  (``None`` = rerun.)"""
+    def _check_add(self, task: Task) -> Optional[Tuple[Real, Real]]:
+        """The O(1) reasoning shared by :meth:`certify_add` and
+        :meth:`certify_trial`: ``(us_j, own_rhs)`` when the DP acceptance
+        provably survives admitting ``task``, ``None`` otherwise."""
         if (
             not self._valid
             or not self._accepted
@@ -241,12 +264,12 @@ class DeltaCertifier:
             or self._amax is None
             or task.name in self._us_by_name
         ):
-            return self._answer(None)
+            return None
         floaty = self._floaty(task)
         if task.wcet > task.deadline or task.wcet > task.period or task.area > self._cap:
-            return self._answer(None)  # necessary conditions: let the exact path reject
+            return None  # necessary conditions: let the exact path reject
         if task.area > self._amax:
-            return self._answer(None)  # Abnd would shrink: no O(1) reasoning
+            return None  # Abnd would shrink: no O(1) reasoning
         us_j = task.system_utilization
         ut_j = task.time_utilization
         own_rhs = self._abnd * (1 - ut_j)
@@ -255,14 +278,32 @@ class DeltaCertifier:
             and self._leq(self._us, own_rhs, floaty)  # the newcomer's own inequality
             and self._leq(self._us + us_j, self._cap, floaty)  # necessary: US' <= A(H)
         ):
+            return None
+        return us_j, own_rhs
+
+    def certify_add(self, task: Task) -> Optional[bool]:
+        """Still accepted after admitting ``task``?  (``None`` = rerun.)"""
+        checked = self._check_add(task)
+        if checked is None:
             return self._answer(None)
+        us_j, own_rhs = checked
         # Consume the slack the newcomer used up.
         self._us_by_name[task.name] = us_j
         self._area_by_name[task.name] = task.area
         self._us = self._us + us_j
         self._min_slack = min(self._min_slack - us_j, own_rhs + us_j - self._us)
-        self._has_float = self._has_float or floaty
+        self._has_float = self._has_float or self._floaty(task)
         return self._answer(True)
+
+    def certify_trial(self, task: Task) -> Optional[bool]:
+        """*Would* the portfolio still accept with ``task`` admitted?
+
+        The non-consuming twin of :meth:`certify_add` for trial queries
+        (verdict wanted, no admission): the same O(1) certificate, but
+        the cached slack is left untouched because the resident set does
+        not change.  ``None`` = not provable in O(1), rerun exactly.
+        """
+        return self._answer(True if self._check_add(task) is not None else None)
 
     def certify_update(self, name: str, task: Task) -> Optional[bool]:
         """Still accepted after replacing ``name`` with ``task``?"""

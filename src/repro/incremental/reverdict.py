@@ -22,13 +22,51 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.incremental.state import AdmissionState, Delta
+from repro.model.task import TaskSet
 from repro.vector.batch import TaskSetBatch
 from repro.vector.dp_vec import dp_accepts
 from repro.vector.gn1_vec import gn1_accepts
 from repro.vector.gn2_vec import gn2_accepts
+from repro.vector.xp import host as hnp
 
 #: Tests reverdict can answer; ``"ANY"`` is the §6 portfolio disjunction.
 TESTS = ("DP", "GN1", "GN2", "ANY")
+
+
+def accept_masks(
+    tasksets: Sequence[TaskSet],
+    capacity: int,
+    *,
+    tests: Sequence[str] = ("DP", "GN1", "GN2"),
+    backend: Optional[str] = None,
+) -> Dict[str, "hnp.ndarray"]:
+    """One vectorized kernel call per member test over same-length
+    ``tasksets`` against a ``capacity``-column device.
+
+    The shared primitive under :func:`reverdict` and the admission
+    service's micro-batcher (:mod:`repro.service.engine`): callers group
+    candidate tasksets by ``(len, capacity)`` and fan each group through
+    here, paying one kernel launch per test for the whole group instead
+    of one scalar rerun per candidate.  Returns ``{test: (B,) bool host
+    mask}`` for exactly the requested ``tests`` (``"ANY"`` is the
+    member disjunction — equal to the §6 EDF-NF portfolio verdict, since
+    DP, GN1 and GN2 all apply to EDF-NF).
+    """
+    unknown = [t for t in tests if t not in TESTS]
+    if unknown:
+        raise ValueError(f"unknown tests: {unknown!r} (choose from {TESTS})")
+    batch = TaskSetBatch.from_tasksets(tasksets)
+    need = set(tests) | ({"DP", "GN1", "GN2"} if "ANY" in tests else set())
+    masks: Dict[str, "hnp.ndarray"] = {}
+    if "DP" in need:
+        masks["DP"] = dp_accepts(batch, capacity, backend=backend)
+    if "GN1" in need:
+        masks["GN1"] = gn1_accepts(batch, capacity, backend=backend)
+    if "GN2" in need:
+        masks["GN2"] = gn2_accepts(batch, capacity, backend=backend)
+    if "ANY" in tests:
+        masks["ANY"] = masks["DP"] | masks["GN1"] | masks["GN2"]
+    return {t: masks[t] for t in tests}
 
 
 def reverdict(
@@ -63,18 +101,10 @@ def reverdict(
         else:
             groups.setdefault((len(state), state.fpga.capacity), []).append(idx)
 
-    need_members = set(tests) | ({"DP", "GN1", "GN2"} if "ANY" in tests else set())
     for (_, capacity), idxs in groups.items():
-        batch = TaskSetBatch.from_tasksets([states[i].taskset for i in idxs])
-        masks = {}
-        if "DP" in need_members:
-            masks["DP"] = dp_accepts(batch, capacity, backend=backend)
-        if "GN1" in need_members:
-            masks["GN1"] = gn1_accepts(batch, capacity, backend=backend)
-        if "GN2" in need_members:
-            masks["GN2"] = gn2_accepts(batch, capacity, backend=backend)
-        if "ANY" in tests:
-            masks["ANY"] = masks["DP"] | masks["GN1"] | masks["GN2"]
+        masks = accept_masks(
+            [states[i].taskset for i in idxs], capacity, tests=tests, backend=backend
+        )
         for pos, idx in enumerate(idxs):
             out[idx] = {t: bool(masks[t][pos]) for t in tests}
     return out

@@ -1,0 +1,52 @@
+"""Online admission-control service over the incremental analyzers.
+
+The service layer turns :class:`~repro.incremental.AdmissionState` into
+a long-running, concurrent admission endpoint without giving up the
+repo's central contract: **every decision is bit-identical to a serial
+replay of the same per-device request order**.  The pieces:
+
+- :mod:`repro.service.protocol` — wire types (``Request``/``Decision``)
+  and JSON parsing.
+- :mod:`repro.service.engine` — the decision core: certifier fast path,
+  speculative per-device chains, residual exact reruns grouped by
+  device shape into single vectorized kernel calls.
+- :mod:`repro.service.batcher` — asyncio micro-batching (size- and
+  latency-bounded window).
+- :mod:`repro.service.sharding` — rendezvous device→shard routing and
+  the multi-process scale-out story.
+- :mod:`repro.service.app` / :mod:`repro.service.http` — the service
+  object and its stdlib HTTP/1.1 front (``repro-service`` CLI).
+- :mod:`repro.service.metrics` — decisions/sec inputs, batch-size
+  histogram, certifier hit rate, latency percentiles.
+"""
+
+from repro.service.app import AdmissionService
+from repro.service.batcher import BatchConfig, MicroBatcher
+from repro.service.engine import BatchEngine, DeviceEngine
+from repro.service.http import HttpServer
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    Decision,
+    ProtocolError,
+    Request,
+    parse_request,
+    parse_task,
+)
+from repro.service.sharding import ShardRouter, rendezvous_shard
+
+__all__ = [
+    "AdmissionService",
+    "BatchConfig",
+    "BatchEngine",
+    "Decision",
+    "DeviceEngine",
+    "HttpServer",
+    "MicroBatcher",
+    "ProtocolError",
+    "Request",
+    "ServiceMetrics",
+    "ShardRouter",
+    "parse_request",
+    "parse_task",
+    "rendezvous_shard",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.service`` — same entry point as ``repro-service``."""
+
+from repro.service.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""The admission service: device registry + sharded decision pipelines.
+
+:class:`AdmissionService` is the process-level object the HTTP layer
+(and in-process clients like the load harness) talk to: it owns
+``shards`` independent :class:`~repro.service.engine.BatchEngine`
+pipelines, routes every request to its device's owning shard
+(rendezvous hashing — see :mod:`repro.service.sharding`), and shares
+one :class:`~repro.service.metrics.ServiceMetrics` across them.
+
+``batching=False`` turns the service into the per-request serial
+baseline (every request decided individually through
+``BatchEngine.process_serial``) — same API, no coalescing, no
+certifier, no kernels.  The load harness measures the micro-batched
+pipeline against exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.fpga.device import Fpga
+from repro.service.batcher import BatchConfig, MicroBatcher
+from repro.service.engine import BatchEngine
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import Decision, Request, task_to_json
+from repro.service.sharding import ShardRouter
+
+
+class AdmissionService:
+    """Front door over one or more sharded micro-batch pipelines."""
+
+    def __init__(
+        self,
+        *,
+        config: Optional[BatchConfig] = None,
+        shards: int = 1,
+        backend: Optional[str] = None,
+        use_certifier: bool = True,
+        batching: bool = True,
+    ) -> None:
+        self.config = config if config is not None else BatchConfig()
+        self.metrics = ServiceMetrics()
+        self.batching = batching
+        self.router = ShardRouter(shards)
+        self.engines = [
+            BatchEngine(backend=backend, use_certifier=use_certifier, metrics=self.metrics)
+            for _ in range(shards)
+        ]
+        self.batchers = [
+            MicroBatcher(engine.process_batch, self.config, self.metrics)
+            for engine in self.engines
+        ]
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._started:
+            raise RuntimeError("service already started")
+        if self.batching:
+            for batcher in self.batchers:
+                await batcher.start()
+        self._started = True
+
+    async def close(self) -> None:
+        if not self._started:
+            return
+        if self.batching:
+            for batcher in self.batchers:
+                await batcher.close()
+        self._started = False
+
+    # -- device registry -------------------------------------------------------
+
+    def _engine_for(self, device: str) -> BatchEngine:
+        return self.engines[self.router.shard_of(device)]
+
+    def create_device(self, name: str, width: int) -> Dict[str, Any]:
+        """Register a ``width``-column device; returns its info dict."""
+        fpga = Fpga(width=width)
+        self._engine_for(name).add_device(name, fpga)
+        return self.device_info(name)
+
+    def has_device(self, name: str) -> bool:
+        return name in self._engine_for(name).devices
+
+    def device_info(self, name: str) -> Dict[str, Any]:
+        """Resident tasks + metadata (the transferable device state)."""
+        dev = self._engine_for(name).device(name)
+        return {
+            "name": name,
+            "width": dev.fpga.width,
+            "capacity": dev.fpga.capacity,
+            "shard": self.router.shard_of(name),
+            "version": dev.state.version,
+            "resident": len(dev.state),
+            "tasks": [task_to_json(t) for t in dev.state.tasks],
+        }
+
+    def list_devices(self) -> List[Dict[str, Any]]:
+        out = []
+        for engine in self.engines:
+            for name in engine.devices:
+                out.append(self.device_info(name))
+        return sorted(out, key=lambda d: d["name"])
+
+    # -- decisions -------------------------------------------------------------
+
+    async def submit(self, request: Request) -> Decision:
+        """Decide one request (micro-batched, or serial per-request when
+        ``batching=False``)."""
+        if not self._started:
+            raise RuntimeError("service is not started")
+        shard = self.router.shard_of(request.device)
+        if self.batching:
+            return await self.batchers[shard].submit(request)
+        return self.engines[shard].process_serial([request])[0]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Service-level metrics (``GET /v1/metrics``)."""
+        snap = self.metrics.snapshot()
+        snap["shards"] = len(self.engines)
+        snap["devices"] = sum(len(e.devices) for e in self.engines)
+        snap["batching"] = self.batching
+        return snap

@@ -1,0 +1,365 @@
+"""The micro-batched admission decision core.
+
+One :class:`BatchEngine` owns every named device's
+:class:`~repro.incremental.state.AdmissionState` (the churn-speed
+substrate) and decides coalesced request batches in three tiers:
+
+1. **Certifier fast path** — each device's head-of-queue requests are
+   offered to its :class:`~repro.core.sensitivity.DeltaCertifier`; the
+   provably-easy ones (arrivals inside the cached DP slack, departures
+   under a DP/GN1 acceptance) resolve in O(1) with no rerun at all.
+2. **Speculative grouped kernel rerun** — the residual requests are
+   chained per device under the optimistic assumption that earlier
+   uncertified adds in the same batch are admitted, and every candidate
+   resident set across *all* devices is fanned into one vectorized
+   DP/GN1/GN2 kernel call per ``(set size, capacity)`` group
+   (:func:`repro.incremental.reverdict.accept_masks`) instead of one
+   scalar rerun per request.
+3. **Ordered confirmation** — verdicts are applied walking each
+   device's queue in arrival order; the first rejected-but-assumed-
+   admitted task invalidates the speculation suffix for that device,
+   which simply stays queued for the next round.  Each round resolves
+   at least the head request of every backlogged device (the head's
+   base is always the real resident set), so the loop terminates.
+
+**Parity contract.**  For float64-parameter tasks (the protocol
+boundary coerces — JSON numbers are doubles) off exact knife edges,
+:meth:`BatchEngine.process_batch` over *any* partition of a request
+stream into batches yields decisions identical to
+:meth:`BatchEngine.process_serial` — the per-request reference that
+trial-admits through ``AdmissionState`` exactly like
+``state.admit(task)`` — including rollback-on-reject.  Certificates are
+sound by construction; kernel verdicts equal the scalar portfolio
+because DP, GN1 and GN2 all apply to EDF-NF and the kernels replicate
+the scalar float64 operations (see
+:mod:`repro.incremental.reverdict`).  The randomized concurrency suite
+in ``tests/test_service_parity.py`` asserts this bit-for-bit.
+
+Per-device ordering is the serialization guarantee: requests for one
+device are decided in arrival order no matter how batches coalesce;
+requests for different devices carry no ordering promise (they commute
+— states are disjoint).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.sensitivity import DeltaCertifier
+from repro.fpga.device import Fpga
+from repro.incremental.reverdict import accept_masks
+from repro.incremental.state import AdmissionState
+from repro.model.task import Task, TaskSet
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    VIA_CERTIFIER,
+    VIA_KERNEL,
+    VIA_STATE,
+    Decision,
+    Request,
+)
+
+#: Portfolio member priority — must match ``CompositeTest`` order, which
+#: is what :meth:`DeltaCertifier.seed` expects ``via`` to encode.
+MEMBER_ORDER = ("DP", "GN1", "GN2")
+
+# Speculation-entry kinds (phase 2 chains).
+_ERROR, _REMOVE, _VERDICT = "error", "remove", "verdict"
+
+
+class DeviceEngine:
+    """One device's confirmed admission state plus its certifier."""
+
+    def __init__(self, name: str, fpga: Fpga, *, rel_eps: float = 1e-9) -> None:
+        self.name = name
+        self.fpga = fpga
+        self.state = AdmissionState(fpga)
+        self.certifier = DeltaCertifier(rel_eps)
+        self.cert_valid = False
+        self._cert_seen = (0, 0)  # (certified, unknown) already drained
+
+    def drain_certifier_stats(self) -> Tuple[int, int]:
+        """The certifier's (certified, unknown) delta since last drain."""
+        certified = self.certifier.stats["certified"]
+        unknown = self.certifier.stats["unknown"]
+        seen_c, seen_u = self._cert_seen
+        self._cert_seen = (certified, unknown)
+        return certified - seen_c, unknown - seen_u
+
+
+class BatchEngine:
+    """Micro-batched (and per-request serial baseline) decision engine."""
+
+    def __init__(
+        self,
+        *,
+        backend: Optional[str] = None,
+        use_certifier: bool = True,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        self.backend = backend
+        self.use_certifier = use_certifier
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.devices: Dict[str, DeviceEngine] = {}
+
+    # -- device registry -------------------------------------------------------
+
+    def add_device(self, name: str, fpga: Fpga) -> DeviceEngine:
+        if name in self.devices:
+            raise KeyError(f"device already registered: {name!r}")
+        dev = DeviceEngine(name, fpga)
+        self.devices[name] = dev
+        return dev
+
+    def device(self, name: str) -> DeviceEngine:
+        return self.devices[name]
+
+    # -- batched pipeline ------------------------------------------------------
+
+    def process_batch(self, requests: Sequence[Request]) -> List[Decision]:
+        """Decide one coalesced batch; per-device arrival order is the
+        serialization order (see the module docstring's parity contract)."""
+        decisions: List[Optional[Decision]] = [None] * len(requests)
+        pending: Dict[str, Deque[Tuple[int, Request]]] = {}
+        for i, req in enumerate(requests):
+            if req.device not in self.devices:
+                decisions[i] = self._error(req, "unknown device")
+            else:
+                pending.setdefault(req.device, deque()).append((i, req))
+
+        rounds = kernel_calls = kernel_rows = 0
+        while any(queue for queue in pending.values()):
+            rounds += 1
+            # Tier 1: certifier fast path / unconditional ops, in order,
+            # up to each device's first request that needs a rerun.
+            for devname, queue in pending.items():
+                dev = self.devices[devname]
+                while queue:
+                    i, req = queue[0]
+                    decision = self._fast_path(dev, req)
+                    if decision is None:
+                        break
+                    decisions[i] = decision
+                    queue.popleft()
+
+            # Tier 2: speculative per-device chains; candidate resident
+            # sets grouped by (size, capacity) for one kernel sweep each.
+            chains: Dict[str, List[Tuple]] = {}
+            groups: Dict[Tuple[int, int], List[TaskSet]] = {}
+            for devname, queue in pending.items():
+                if not queue:
+                    continue
+                dev = self.devices[devname]
+                spec = list(dev.state.tasks)
+                spec_names = {t.name for t in spec}
+                entries: List[Tuple] = []
+                for i, req in queue:
+                    if req.op == "remove":
+                        if req.name in spec_names:
+                            entries.append((_REMOVE, i, req))
+                            spec = [t for t in spec if t.name != req.name]
+                            spec_names.discard(req.name)
+                        else:
+                            entries.append((_ERROR, i, req, "task not resident"))
+                    else:  # add / trial
+                        task = req.task
+                        assert task is not None
+                        if task.name in spec_names:
+                            entries.append(
+                                (_ERROR, i, req, "task name already resident")
+                            )
+                            continue
+                        candidate = spec + [task]
+                        key = (len(candidate), dev.fpga.capacity)
+                        rows = groups.setdefault(key, [])
+                        entries.append((_VERDICT, i, req, key, len(rows)))
+                        rows.append(TaskSet(candidate))
+                        if req.op == "add":  # optimistic: assume admitted
+                            spec = candidate
+                            spec_names.add(task.name)
+                chains[devname] = entries
+
+            # Tier 2b: grouped kernel sweeps per (size, capacity), with the
+            # portfolio's short-circuit lifted to batch granularity: DP over
+            # every row, GN1 only over the DP-rejected rows, GN2 only over
+            # the remainder — exactly the members the scalar portfolio
+            # would have evaluated, so per-row cost matches the serial
+            # reference while the vectorization amortizes across rows.
+            verdicts: Dict[Tuple[int, int], List[Tuple[bool, str]]] = {}
+            for key, rows in groups.items():
+                group: List[Tuple[bool, str]] = [(False, "")] * len(rows)
+                undecided = list(range(len(rows)))
+                for member in MEMBER_ORDER:
+                    subset = [rows[i] for i in undecided]
+                    mask = accept_masks(
+                        subset, key[1], tests=(member,), backend=self.backend
+                    )[member]
+                    kernel_calls += 1
+                    kernel_rows += len(subset)
+                    still: List[int] = []
+                    for pos, i in enumerate(undecided):
+                        if bool(mask[pos]):
+                            group[i] = (True, member)
+                        else:
+                            still.append(i)
+                    undecided = still
+                    if not undecided:
+                        break
+                verdicts[key] = group
+
+            # Tier 3: ordered confirmation per device.
+            for devname, entries in chains.items():
+                dev = self.devices[devname]
+                queue = pending[devname]
+                known: Optional[Tuple[bool, str]] = None
+                for entry in entries:
+                    kind, i, req = entry[0], entry[1], entry[2]
+                    if kind == _ERROR:
+                        decisions[i] = self._error(req, entry[3])
+                        queue.popleft()
+                        continue  # state unchanged: speculation holds
+                    if kind == _REMOVE:
+                        if dev.cert_valid:
+                            if dev.certifier.certify_remove(req.name) is None:
+                                dev.cert_valid = False
+                        dev.state.remove(req.name)
+                        known = None  # resident set changed, verdict unknown
+                        decisions[i] = Decision(
+                            op=req.op, device=req.device, name=req.name, ok=True,
+                            via=VIA_STATE,
+                        )
+                        queue.popleft()
+                        continue
+                    # _VERDICT
+                    key, pos = entry[3], entry[4]
+                    accepted, member = verdicts[key][pos]
+                    task = req.task
+                    assert task is not None
+                    decisions[i] = Decision(
+                        op=req.op, device=req.device, name=task.name,
+                        ok=accepted, via=VIA_KERNEL, member=member,
+                    )
+                    queue.popleft()
+                    if req.op == "trial":
+                        continue  # no state change, speculation holds
+                    if accepted:
+                        dev.state.add(task)
+                        dev.cert_valid = False  # stale cache; reseeded below
+                        known = (True, member)
+                    else:
+                        # Rejection leaves the state unchanged, but every
+                        # later entry assumed this add went through:
+                        # abandon the speculation suffix for this device.
+                        break
+
+                # Re-seed the certifier when the walk ends on a resident
+                # set whose portfolio verdict the kernel sweep just told
+                # us — the cache rebuild is O(N) arithmetic, no rerun.
+                if self.use_certifier and not dev.cert_valid and known is not None:
+                    dev.certifier.seed(dev.state, known[0], known[1])
+                    dev.cert_valid = True
+
+        self._finish_batch(len(requests), rounds, kernel_calls, kernel_rows, decisions)
+        return [d for d in decisions if d is not None]
+
+    def _fast_path(self, dev: DeviceEngine, req: Request) -> Optional[Decision]:
+        """Resolve ``req`` without a kernel rerun, or ``None`` = blocked."""
+        state = dev.state
+        if req.op == "remove":
+            if req.name not in state:
+                return self._error(req, "task not resident")
+            if dev.cert_valid:
+                if dev.certifier.certify_remove(req.name) is None:
+                    dev.cert_valid = False
+            state.remove(req.name)
+            return Decision(
+                op=req.op, device=req.device, name=req.name, ok=True, via=VIA_STATE
+            )
+        task = req.task
+        assert task is not None
+        if task.name in state:
+            return self._error(req, "task name already resident")
+        if not (self.use_certifier and dev.cert_valid):
+            return None  # straight to the grouped kernel rerun
+        if req.op == "add":
+            if dev.certifier.certify_add(task) is not None:
+                state.add(task)
+                return Decision(
+                    op=req.op, device=req.device, name=task.name, ok=True,
+                    via=VIA_CERTIFIER, member="DP",
+                )
+        else:  # trial
+            if dev.certifier.certify_trial(task) is not None:
+                return Decision(
+                    op=req.op, device=req.device, name=task.name, ok=True,
+                    via=VIA_CERTIFIER, member="DP",
+                )
+        return None
+
+    # -- per-request serial baseline (and parity reference) --------------------
+
+    def process_serial(self, requests: Sequence[Request]) -> List[Decision]:
+        """The reference path: each request individually, straight through
+        ``AdmissionState`` (trial-admit + rollback), no coalescing, no
+        certifier, no kernels.  This is both the load harness's serial
+        baseline and the decision sequence :meth:`process_batch` is
+        bit-identical to."""
+        out = []
+        for req in requests:
+            dev = self.devices.get(req.device)
+            if dev is None:
+                decision = self._error(req, "unknown device")
+            elif req.op == "remove":
+                if req.name not in dev.state:
+                    decision = self._error(req, "task not resident")
+                else:
+                    dev.state.remove(req.name)
+                    dev.cert_valid = False
+                    decision = Decision(
+                        op=req.op, device=req.device, name=req.name, ok=True,
+                        via=VIA_STATE,
+                    )
+            else:
+                task = req.task
+                assert task is not None
+                if task.name in dev.state:
+                    decision = self._error(req, "task name already resident")
+                else:
+                    dev.cert_valid = False
+                    ok = dev.state.admit(task)  # trial-admit with rollback
+                    if ok and req.op == "trial":
+                        dev.state.remove(task.name)  # verdict only
+                    decision = Decision(
+                        op=req.op, device=req.device, name=task.name, ok=ok,
+                        via=VIA_STATE,
+                    )
+            self.metrics.observe_decision(decision)
+            out.append(decision)
+        return out
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _error(req: Request, message: str) -> Decision:
+        return Decision(
+            op=req.op, device=req.device, name=req.target, ok=False,
+            via=VIA_STATE, error=message,
+        )
+
+    def _finish_batch(
+        self,
+        size: int,
+        rounds: int,
+        kernel_calls: int,
+        kernel_rows: int,
+        decisions: Sequence[Optional[Decision]],
+    ) -> None:
+        self.metrics.observe_batch(size, rounds, kernel_calls, kernel_rows)
+        for decision in decisions:
+            if decision is not None:
+                self.metrics.observe_decision(decision)
+        for dev in self.devices.values():
+            certified, unknown = dev.drain_certifier_stats()
+            if certified or unknown:
+                self.metrics.observe_certifier(certified, unknown)

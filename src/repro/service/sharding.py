@@ -1,0 +1,75 @@
+"""Consistent device→worker routing, and the scale-out story.
+
+**In one process.**  Devices are disjoint — requests for different
+devices touch disjoint ``AdmissionState``s and commute — so the service
+partitions its device registry over ``shards`` independent pipelines
+(one :class:`~repro.service.engine.BatchEngine` behind one
+:class:`~repro.service.batcher.MicroBatcher` each).  Routing is
+**rendezvous (highest-random-weight) hashing** on the device name:
+deterministic, uniform, and minimally disruptive — resizing from ``k``
+to ``k+1`` shards remaps only ``~1/(k+1)`` of the devices, and every
+router instance (in any process, any language with blake2b) agrees on
+the owner without coordination or a lookup table.
+
+**Beyond one process.**  The same routing function is the multi-process
+scale-out plan, written down here because one CPython process is
+ultimately serialized through one interpreter lock:
+
+1. Run ``W`` worker processes (``repro-service --port p_i``), each an
+   identical service; a worker *owns* the devices
+   ``rendezvous_shard(name, W) == i`` and rejects the rest, so every
+   device's request stream stays serialized through exactly one
+   pipeline — the batch-parity contract needs nothing more.
+2. Any stateless front (an L7 proxy, a client library, DNS-free
+   static config) routes by computing the same hash; no shared state,
+   no session affinity tables.  Adding a worker remaps ``1/W`` of the
+   devices: drain the remapped devices (finish their in-flight batch),
+   replay their resident task lists to the new owner (``GET
+   /v1/devices/<name>`` is the full transferable state), flip routing.
+3. Grouped kernel sweeps batch *across* a worker's devices, so skew —
+   one hot device — caps a worker's win at its own traffic.  The
+   fix is the same as everywhere: hot devices get a dedicated worker
+   (rendezvous weights), cold ones share.
+
+Kept dependency-free (hashlib + the stdlib) so clients can vendor the
+routing function verbatim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def rendezvous_shard(device: str, shards: int, salt: str = "") -> int:
+    """The shard (``0 .. shards-1``) that owns ``device``.
+
+    Highest-random-weight: score every shard with
+    ``blake2b(salt:shard:device)`` and pick the max — deterministic
+    across processes and platforms (no Python ``hash()`` randomization).
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return 0
+    best_shard = 0
+    best_score = b""
+    for shard in range(shards):
+        key = f"{salt}:{shard}:{device}".encode()
+        score = hashlib.blake2b(key, digest_size=8).digest()
+        if score > best_score:
+            best_score = score
+            best_shard = shard
+    return best_shard
+
+
+class ShardRouter:
+    """A fixed-size rendezvous router (convenience wrapper)."""
+
+    def __init__(self, shards: int, salt: str = "") -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.salt = salt
+
+    def shard_of(self, device: str) -> int:
+        return rendezvous_shard(device, self.shards, self.salt)

@@ -1,0 +1,9 @@
+"""RL007 bad (linted as repro.incremental.newmod): the analysis layers
+must never depend back on the service front — the service imports
+*them*, not the other way around."""
+
+from repro.service.engine import BatchEngine  # line 5: RL007
+
+
+def decide(requests):
+    return BatchEngine().process_batch(requests)

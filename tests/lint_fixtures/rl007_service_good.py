@@ -1,0 +1,11 @@
+"""RL007 good (linted as repro.service.engine): the service layer sits
+*above* the incremental engine and the vector kernels — importing both
+downward is its sanctioned shape."""
+
+from repro.incremental.reverdict import accept_masks
+from repro.incremental.state import AdmissionState
+from repro.vector.xp import get_backend
+
+
+def shape(state: AdmissionState):
+    return get_backend(None), accept_masks

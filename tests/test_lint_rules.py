@@ -40,7 +40,9 @@ BAD_CASES = [
     ("rl004_bad.py", "repro.vector.kern", "RL004", [8, 9, 10]),
     ("rl005_bad.py", "repro.vector.sim_vec", "RL005", [8, 11, 12]),
     ("rl006_bad.py", "repro.core.newtest", "RL006", [10, 11, 13]),
+    ("rl006_service_bad.py", "repro.service.batcher", "RL006", [10, 11]),
     ("rl007_bad.py", "repro.core.newtest", "RL007", [4]),
+    ("rl007_service_bad.py", "repro.incremental.newmod", "RL007", [5]),
 ]
 
 GOOD_CASES = [
@@ -51,7 +53,9 @@ GOOD_CASES = [
     ("rl004_good.py", "repro.vector.kern"),
     ("rl005_good.py", "repro.vector.sim_vec"),
     ("rl006_good.py", "repro.core.newtest"),
+    ("rl006_service_good.py", "repro.service.clock"),
     ("rl007_good.py", "repro.core.newtest"),
+    ("rl007_service_good.py", "repro.service.engine"),
 ]
 
 
