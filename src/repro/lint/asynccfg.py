@@ -1,0 +1,329 @@
+"""Await-atomicity dataflow over ``async def`` bodies (RL013's engine).
+
+The hazard: on one event loop, code between two awaits runs atomically,
+but *across* an await every other coroutine may have run.  State that
+was read ("validated") before an await and then **mutated** after it —
+without being re-read or guarded by a rollback handler — is the classic
+check-then-act race the service's ordered-confirmation design exists to
+prevent.
+
+The analysis is a statement-level abstract interpretation per ``async
+def``.  It tracks dotted attribute paths rooted at ``self``/``cls``
+(``self._started``, ``self.state.resident``, …) through three states:
+
+``UNSEEN``
+    never read in this function — a blind write after an await is not a
+    TOCTOU (nothing was validated, so nothing went stale);
+``CLEAN``
+    read (or written) since the last await — validated in the current
+    atomic region;
+``STALE``
+    read before an await that has since run — the observed value may no
+    longer hold.
+
+Transfer rules, in evaluation order within each statement: a read sets
+the path *and every prefix* to CLEAN; an ``await`` (including the
+implicit awaits of ``async for`` / ``async with``) flips every CLEAN
+path to STALE; a mutation — an assign/augassign/del store through the
+path, or a ``config.ASYNC_MUTATOR_METHODS`` call on it — is a
+:class:`Hazard` when the path is STALE, and leaves the path CLEAN.
+Crucially, a mutator call's receiver does **not** count as a read:
+``self.state.add(task)`` cannot validate the very state it mutates.
+
+Branches are analyzed independently and joined pessimistically (STALE
+wins; branches that terminate — return/raise/break/continue — drop out
+of the join).  Loop bodies run twice so loop-carried staleness (an
+await at the bottom of the body staling reads at the top) is observed.
+``except`` and ``finally`` bodies are exempt from reporting: mutating
+state there is the sanctioned rollback idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint import config
+
+UNSEEN = 0
+CLEAN = 1
+STALE = 2
+
+#: path -> (state, line of the await that staled it; 0 unless STALE)
+Env = Dict[str, Tuple[int, int]]
+
+_DEFERRED = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One await-straddling mutation."""
+
+    line: int
+    col: int
+    path: str
+    await_line: int
+
+
+def attribute_path(node: ast.AST) -> Optional[str]:
+    """``self.a.b`` as a dotted string for a pure attribute chain rooted
+    at ``self``/``cls``; None for anything else (subscripts, calls)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id in ("self", "cls") and parts:
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Analyzer:
+    def __init__(self) -> None:
+        self.hazards: List[Hazard] = []
+        self._seen: Set[Tuple[int, int, str]] = set()
+
+    # -- env operations --------------------------------------------------------
+
+    @staticmethod
+    def _read(env: Env, path: str) -> None:
+        parts = path.split(".")
+        for i in range(2, len(parts) + 1):
+            env[".".join(parts[:i])] = (CLEAN, 0)
+
+    @staticmethod
+    def _await(env: Env, line: int) -> None:
+        for path, (state, _) in list(env.items()):
+            if state == CLEAN:
+                env[path] = (STALE, line)
+
+    def _mutate(self, env: Env, path: str, node: ast.AST,
+                report: bool) -> None:
+        state, await_line = env.get(path, (UNSEEN, 0))
+        if state == STALE and report:
+            key = (node.lineno, node.col_offset, path)
+            if key not in self._seen:
+                self._seen.add(key)
+                self.hazards.append(
+                    Hazard(
+                        line=node.lineno,
+                        col=node.col_offset,
+                        path=path,
+                        await_line=await_line,
+                    )
+                )
+        env[path] = (CLEAN, 0)
+
+    @staticmethod
+    def _join(envs: List[Env]) -> Env:
+        if not envs:
+            return {}
+        out: Env = {}
+        keys = set()
+        for env in envs:
+            keys.update(env)
+        for path in keys:
+            state, line = UNSEEN, 0
+            for env in envs:
+                s, ln = env.get(path, (UNSEEN, 0))
+                if s > state:
+                    state, line = s, ln
+                elif s == state == STALE and 0 < ln < (line or ln + 1):
+                    line = ln
+            out[path] = (state, line)
+        return out
+
+    # -- expression events -----------------------------------------------------
+
+    def _expr(self, node: ast.AST, env: Env, report: bool) -> None:
+        """Apply reads/awaits/mutator-calls of one expression in
+        evaluation order (approximated by AST order)."""
+        if isinstance(node, _DEFERRED):
+            return  # runs later, in its own atomic regions
+        if isinstance(node, ast.Await):
+            self._expr(node.value, env, report)
+            self._await(env, node.lineno)
+            return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                receiver = attribute_path(func.value)
+                if (
+                    receiver is not None
+                    and func.attr in config.ASYNC_MUTATOR_METHODS
+                ):
+                    for arg in node.args:
+                        self._expr(arg, env, report)
+                    for kw in node.keywords:
+                        self._expr(kw.value, env, report)
+                    self._mutate(env, receiver, node, report)
+                    return
+            self._expr(func, env, report)
+            for arg in node.args:
+                self._expr(arg, env, report)
+            for kw in node.keywords:
+                self._expr(kw.value, env, report)
+            return
+        if isinstance(node, ast.Attribute):
+            path = attribute_path(node)
+            if path is not None:
+                self._read(env, path)
+                return
+            self._expr(node.value, env, report)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._expr(child, env, report)
+
+    # -- store targets ---------------------------------------------------------
+
+    def _store(self, target: ast.AST, env: Env, report: bool) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._store(elt, env, report)
+            return
+        if isinstance(target, ast.Starred):
+            self._store(target.value, env, report)
+            return
+        if isinstance(target, ast.Attribute):
+            path = attribute_path(target)
+            if path is not None:
+                self._mutate(env, path, target, report)
+            else:
+                self._expr(target.value, env, report)
+            return
+        if isinstance(target, ast.Subscript):
+            # self.a[i] = x mutates the container self.a
+            path = attribute_path(target.value)
+            self._expr(target.slice, env, report)
+            if path is not None:
+                self._mutate(env, path, target, report)
+            else:
+                self._expr(target.value, env, report)
+
+    # -- statements ------------------------------------------------------------
+
+    def _stmts(self, body: Sequence[ast.stmt], env: Env,
+               report: bool) -> bool:
+        """Analyze a statement list in ``env``; True if flow terminates
+        (return/raise/break/continue on every path)."""
+        for stmt in body:
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                if isinstance(stmt, ast.Return) and stmt.value is not None:
+                    self._expr(stmt.value, env, report)
+                if isinstance(stmt, ast.Raise):
+                    if stmt.exc is not None:
+                        self._expr(stmt.exc, env, report)
+                    if stmt.cause is not None:
+                        self._expr(stmt.cause, env, report)
+                return True
+            if isinstance(stmt, (ast.Break, ast.Continue)):
+                return True
+            if isinstance(stmt, ast.Expr):
+                self._expr(stmt.value, env, report)
+            elif isinstance(stmt, ast.Assign):
+                self._expr(stmt.value, env, report)
+                for target in stmt.targets:
+                    self._store(target, env, report)
+            elif isinstance(stmt, ast.AugAssign):
+                # load target, evaluate value, store target — the
+                # read-modify-write is atomic unless the value awaits.
+                path = (
+                    attribute_path(stmt.target)
+                    if isinstance(stmt.target, ast.Attribute)
+                    else None
+                )
+                if path is not None:
+                    self._read(env, path)
+                self._expr(stmt.value, env, report)
+                self._store(stmt.target, env, report)
+            elif isinstance(stmt, ast.AnnAssign):
+                if stmt.value is not None:
+                    self._expr(stmt.value, env, report)
+                    self._store(stmt.target, env, report)
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    self._store(target, env, report)
+            elif isinstance(stmt, ast.If):
+                self._expr(stmt.test, env, report)
+                then_env, else_env = dict(env), dict(env)
+                then_done = self._stmts(stmt.body, then_env, report)
+                else_done = self._stmts(stmt.orelse, else_env, report)
+                live = [
+                    e
+                    for e, done in ((then_env, then_done), (else_env, else_done))
+                    if not done
+                ]
+                if not live:
+                    return True
+                env.clear()
+                env.update(self._join(live))
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                if isinstance(stmt, ast.While):
+                    self._expr(stmt.test, env, report)
+                else:
+                    self._expr(stmt.iter, env, report)
+                # Two passes: the second runs from the joined state so an
+                # await at the bottom of the body stales reads at the top.
+                once = dict(env)
+                if isinstance(stmt, ast.AsyncFor):
+                    self._await(once, stmt.lineno)
+                if not isinstance(stmt, ast.While):
+                    self._store(stmt.target, once, report)
+                self._stmts(stmt.body, once, report)
+                twice = self._join([env, once])
+                if isinstance(stmt, ast.AsyncFor):
+                    self._await(twice, stmt.lineno)
+                self._stmts(stmt.body, twice, report)
+                joined = self._join([env, once, twice])
+                env.clear()
+                env.update(joined)
+                self._stmts(stmt.orelse, env, report)
+            elif isinstance(stmt, ast.Try):
+                pre = dict(env)
+                body_done = self._stmts(stmt.body, env, report)
+                outs = [] if body_done else [env]
+                for handler in stmt.handlers:
+                    # Rollback region: runs from an unknowable point
+                    # between pre and post; mutations are sanctioned.
+                    h_env = self._join([pre, env])
+                    self._stmts(handler.body, h_env, report=False)
+                    outs.append(h_env)
+                if not body_done:
+                    self._stmts(stmt.orelse, env, report)
+                joined = self._join(outs) if outs else dict(env)
+                env.clear()
+                env.update(joined)
+                self._stmts(stmt.finalbody, env, report=False)
+                if body_done and not stmt.finalbody and not stmt.handlers:
+                    return True
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._expr(item.context_expr, env, report)
+                if isinstance(stmt, ast.AsyncWith):
+                    self._await(env, stmt.lineno)
+                if self._stmts(stmt.body, env, report):
+                    return True
+            elif isinstance(stmt, (ast.Global, ast.Nonlocal, ast.Pass,
+                                   ast.Import, ast.ImportFrom)):
+                pass
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                pass  # nested scope: analyzed (or not) on its own
+            elif isinstance(stmt, ast.Assert):
+                self._expr(stmt.test, env, report)
+                if stmt.msg is not None:
+                    self._expr(stmt.msg, env, report)
+            else:
+                self._expr(stmt, env, report)
+        return False
+
+
+def analyze_async_def(fn: ast.AsyncFunctionDef) -> List[Hazard]:
+    """All await-straddling mutation hazards in one ``async def`` body,
+    sorted by location (deterministic regardless of branch order)."""
+    analyzer = _Analyzer()
+    analyzer._stmts(fn.body, {}, report=True)
+    return sorted(
+        analyzer.hazards, key=lambda h: (h.line, h.col, h.path)
+    )

@@ -12,7 +12,8 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.lint.engine import lint_paths
+from repro.lint.effects import effects_report
+from repro.lint.engine import build_project_for, lint_paths
 from repro.lint.reporters import render_json, text_report
 from repro.lint.rules import RULES, all_rule_ids
 
@@ -82,6 +83,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip these rules",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help=(
+            "lint files with N worker processes (default: "
+            "$REPRO_LINT_JOBS, else serial); the report is identical "
+            "for any N"
+        ),
+    )
+    parser.add_argument(
+        "--effects",
+        action="store_true",
+        help=(
+            "instead of linting, print the inferred effect summary "
+            "(JSON) for every public repro.* function and exit 0"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -107,8 +126,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         _emit(_rule_catalogue() + "\n")
         return EXIT_CLEAN
+    if args.effects:
+        try:
+            summary, _ = build_project_for(args.paths)
+            report = effects_report(summary)
+        except (FileNotFoundError, ValueError, OSError) as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        _emit(report)
+        if args.output:
+            try:
+                with open(args.output, "w", encoding="utf-8") as fh:
+                    fh.write(report)
+            except OSError as exc:
+                print(f"repro-lint: error: {exc}", file=sys.stderr)
+                return EXIT_ERROR
+        return EXIT_CLEAN
     try:
-        result = lint_paths(args.paths, select=args.select, ignore=args.ignore)
+        result = lint_paths(
+            args.paths,
+            select=args.select,
+            ignore=args.ignore,
+            jobs=args.jobs,
+        )
     except (FileNotFoundError, ValueError, OSError) as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return EXIT_ERROR

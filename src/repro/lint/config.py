@@ -11,6 +11,14 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Tuple
 
+#: The project's own namespace.  Rules that police *our* determinism
+#: contracts (RL003/RL006 and their transitive closures RL010/RL012)
+#: apply only to modules under this prefix — files outside any package
+#: (``benchmarks/``, ``examples/``, ``scripts/`` get bare-stem module
+#: names) are the sanctioned home for timing and ad-hoc RNG, exactly as
+#: the RL006 docstring prescribes.
+SRC_NAMESPACE: Tuple[str, ...] = ("repro",)
+
 #: Modules (prefixes) that form the backend-pluggable kernel surface:
 #: inside these, importing numpy directly would fork the array namespace
 #: and silently break torch/cupy parity (RL001).
@@ -53,6 +61,23 @@ RNG_DRAW_METHODS: Tuple[str, ...] = (
     "choice", "shuffle", "permutation", "exponential", "poisson",
 )
 
+#: Constructors that mint RNG state (RL003 and the effect seeder).
+#: Matching is by trailing attribute so any numpy alias is caught
+#: (``np.random.default_rng``, ``numpy.random.default_rng``, a bare
+#: ``default_rng`` from-import).
+RNG_CONSTRUCTORS: Tuple[str, ...] = ("default_rng", "RandomState", "SeedSequence")
+
+#: Fully-qualified functions whose RNG draws are *sanctioned* — the
+#: documented host-side seeded samplers living inside an otherwise
+#: strict kernel module (draw order pinned to the scalar reference,
+#: ROADMAP "Array backends").  The effect seeder does not mark them
+#: ``RNG``, so RL010 does not flag their kernel-side callers; their
+#: in-body draws carry per-line RL003 pragmas already.
+RNG_SANCTIONED_FUNCTIONS: Tuple[str, ...] = (
+    "repro.vector.sim_vec.sample_offsets_batch",
+    "repro.vector.sim_vec.sample_release_times_batch",
+)
+
 #: Kernel modules held to the strict determinism tier of RL003 and the
 #: host-sync ban of RL005: the fused pass loops of the batched
 #: simulator and the placement kernels.
@@ -74,6 +99,13 @@ SYNC_SCOPED_MODULES: Tuple[str, ...] = (
 
 #: Attribute paths whose *call* means "block on the device" (RL005).
 HOST_SYNC_METHODS: Tuple[str, ...] = ("item", "cpu", "tolist", "get")
+
+#: Method/function tails whose call moves data across the host-device
+#: boundary (the ``DEVICE_TRANSFER`` effect in the report — informative,
+#: no rule bans it; the contract is "once per batch each way").
+DEVICE_TRANSFER_CALLS: Tuple[str, ...] = (
+    "asnumpy", "from_numpy", "synchronize", "to_device",
+)
 
 #: ``module -> attribute`` pairs that read wall clocks (RL006).  The
 #: repro tree must stay deterministic and profiler-friendly; timing
@@ -100,6 +132,22 @@ WALL_CLOCK_CALLS: Tuple[Tuple[str, str], ...] = (
 #: *decisions* (the batch-parity contract and its randomized test suite
 #: pin that), only when a batch flushes.
 WALL_CLOCK_ALLOWED_MODULES: Tuple[str, ...] = ("repro.service.clock",)
+
+#: Modules (prefixes) whose ``async def`` bodies are held to RL013's
+#: await-atomicity discipline: the admission service, where shared
+#: per-device engine state lives on the event loop and every await is a
+#: point other coroutines may mutate it.
+ASYNC_STATE_MODULES: Tuple[str, ...] = ("repro.service",)
+
+#: Method names that count as *mutations* of the receiver for RL013
+#: (and the ``STATE_MUTATION`` effect): the container/state mutators the
+#: service's AdmissionState, pending lists, and registries go through.
+#: Calling one of these on ``self``-rooted state does NOT count as a
+#: re-validating read of that state.
+ASYNC_MUTATOR_METHODS: Tuple[str, ...] = (
+    "add", "admit", "append", "appendleft", "apply", "clear", "discard",
+    "extend", "insert", "pop", "popleft", "remove", "setdefault", "update",
+)
 
 #: RL007 import layering.  A module may import only modules whose layer
 #: is <= its own.  Matching is longest-dotted-prefix, with exact module

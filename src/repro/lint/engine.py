@@ -1,10 +1,21 @@
-"""Lint engine: file discovery, module naming, rule dispatch.
+"""Lint engine: file discovery, module naming, two-pass rule dispatch.
 
 Module names are derived from the filesystem (walking up the
 ``__init__.py`` chain), so ``python -m repro.lint src`` scopes every
 rule correctly no matter the working directory.  Tests that lint
 fixture snippets *as if* they lived at a given dotted path use
 :func:`lint_source` with an explicit ``modname``.
+
+Since the transitive rules landed the engine runs two passes over a
+tree: pass 1 parses every file once and builds the whole-program
+:class:`~repro.lint.effects.ProjectSummary` (declarations, call edges,
+effect fixpoint — see :mod:`repro.lint.callgraph` /
+:mod:`repro.lint.effects`); pass 2 lints each file against that
+summary.  Pass 2 is embarrassingly parallel and fans out over
+:func:`repro.util.parallel.parallel_map` when ``jobs > 1`` (kwarg >
+``REPRO_LINT_JOBS`` > serial) — the summary is AST-free and picklable,
+per-file results merge in discovery order, and the final findings sort
+makes the report identical for any worker count.
 """
 
 from __future__ import annotations
@@ -12,11 +23,19 @@ from __future__ import annotations
 import ast
 import os
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set
+from functools import partial
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.lint import effects
+from repro.lint.effects import ProjectSummary
 from repro.lint.findings import Finding
-from repro.lint.rules import RULES, ModuleContext
-from repro.lint.suppress import apply_suppressions, collect_suppressions
+from repro.lint.rules import RULES, ModuleContext, all_rule_ids
+from repro.lint.suppress import (
+    UNUSED_SUPPRESSION_ID,
+    apply_suppressions,
+    collect_suppressions,
+)
+from repro.util.parallel import parallel_map
 
 #: Pseudo-rule for files the parser rejects: an unparsable file cannot
 #: be checked, which is itself a finding (and never suppressible —
@@ -68,14 +87,35 @@ def module_name_for(path: str) -> str:
 
 def _selected_rules(
     select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
-) -> List[str]:
-    ids: Set[str] = set(select) if select else set(RULES)
-    unknown = ids - set(RULES)
+) -> Tuple[List[str], Set[str]]:
+    """Validate and resolve a selection.
+
+    Both ``select`` and ``ignore`` must name known rule IDs (including
+    the RL008/RL009 meta-rules) — an unknown ID in either is a
+    :class:`ValueError`, not a silent no-op.  Returns ``(run_ids,
+    active)``: the registered rules to execute, and the full active ID
+    set (meta-rules included) the engine gates its own reporting on.
+    """
+    known = set(all_rule_ids())
+    active: Set[str] = set(select) if select else set(known)
+    unknown = active - known
     if unknown:
         raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
     if ignore:
-        ids -= set(ignore)
-    return sorted(ids)
+        ignored = set(ignore)
+        unknown = ignored - known
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}"
+            )
+        active -= ignored
+    return sorted(active & set(RULES)), active
+
+
+def _single_module_project(
+    tree: ast.Module, modname: str, is_package: bool
+) -> ProjectSummary:
+    return effects.build_project([(modname, tree, is_package)])
 
 
 def lint_source(
@@ -86,22 +126,32 @@ def lint_source(
     is_package: bool = False,
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    project: Optional[ProjectSummary] = None,
 ) -> LintResult:
-    """Lint one source blob under an explicit module identity."""
+    """Lint one source blob under an explicit module identity.
+
+    Without an explicit ``project`` the blob is its own whole program
+    (a single-module summary is built from it), so fixture snippets
+    exercise the transitive rules self-contained.
+    """
+    run_ids, active = _selected_rules(select, ignore)
     result = LintResult(files_checked=1)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        result.findings.append(
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule=PARSE_ERROR_ID,
-                message=f"syntax error: {exc.msg}",
+        if PARSE_ERROR_ID in active:
+            result.findings.append(
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule=PARSE_ERROR_ID,
+                    message=f"syntax error: {exc.msg}",
+                )
             )
-        )
         return result
+    if project is None:
+        project = _single_module_project(tree, modname, is_package)
     lines = source.splitlines()
     ctx = ModuleContext(
         path=path,
@@ -109,11 +159,18 @@ def lint_source(
         tree=tree,
         source_lines=lines,
         is_package=is_package,
+        project=project,
     )
     raw: List[Finding] = []
-    for rule_id in _selected_rules(select, ignore):
+    for rule_id in run_ids:
         raw.extend(RULES[rule_id]().check(ctx))
-    result.findings = apply_suppressions(raw, collect_suppressions(source), path)
+    result.findings = apply_suppressions(
+        raw,
+        collect_suppressions(source),
+        path,
+        checked_rules=set(run_ids),
+        report_unused=UNUSED_SUPPRESSION_ID in active,
+    )
     return result
 
 
@@ -123,6 +180,7 @@ def lint_file(
     *,
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    project: Optional[ProjectSummary] = None,
 ) -> LintResult:
     with open(path, "r", encoding="utf-8") as fh:
         source = fh.read()
@@ -135,6 +193,7 @@ def lint_file(
         is_package=os.path.basename(path) == "__init__.py",
         select=select,
         ignore=ignore,
+        project=project,
     )
 
 
@@ -159,16 +218,75 @@ def discover_files(paths: Sequence[str]) -> List[str]:
     return out
 
 
+def build_project_for(paths: Sequence[str]) -> Tuple[ProjectSummary, int]:
+    """Pass 1 over ``paths``: parse every discovered file and build the
+    whole-program summary.  Unparsable files are skipped here (pass 2
+    reports them as RL009).  Returns ``(summary, files_discovered)``.
+    """
+    modules: List[Tuple[str, ast.Module, bool]] = []
+    files = discover_files(paths)
+    for path in files:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue
+        modules.append(
+            (
+                module_name_for(path),
+                tree,
+                os.path.basename(path) == "__init__.py",
+            )
+        )
+    return effects.build_project(modules), len(files)
+
+
+def resolve_lint_jobs(jobs: Optional[int] = None) -> int:
+    """Worker-count precedence: explicit ``jobs`` > ``REPRO_LINT_JOBS``
+    > serial (1)."""
+    if jobs is None:
+        env = os.environ.get("REPRO_LINT_JOBS", "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_LINT_JOBS must be an integer, got {env!r}"
+            ) from None
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _lint_one(
+    path: str, select: Tuple[str, ...], project: ProjectSummary
+) -> LintResult:
+    """One pass-2 unit of work (module-level: picklable for the pool)."""
+    return lint_file(path, select=list(select), project=project)
+
+
 def lint_paths(
     paths: Sequence[str],
     *,
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
 ) -> LintResult:
-    """Lint every ``.py`` file under ``paths``; findings sorted."""
-    rule_ids = _selected_rules(select, ignore)  # validate up front
+    """Lint every ``.py`` file under ``paths``; findings sorted.
+
+    ``jobs > 1`` fans pass 2 out over a process pool; results are
+    merged in discovery order and sorted, so the report is identical
+    for every worker count.
+    """
+    _, active = _selected_rules(select, ignore)  # validate up front
+    workers = resolve_lint_jobs(jobs)
+    project, _ = build_project_for(paths)
+    files = discover_files(paths)
+    job = partial(_lint_one, select=tuple(sorted(active)), project=project)
     result = LintResult()
-    for path in discover_files(paths):
-        result.extend(lint_file(path, select=rule_ids))
+    for file_result in parallel_map(job, files, workers=workers):
+        result.extend(file_result)
     result.findings.sort()
     return result

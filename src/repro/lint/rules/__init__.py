@@ -16,9 +16,22 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from repro.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.callgraph import ModuleResolver
+    from repro.lint.effects import ProjectSummary
 
 
 @dataclass
@@ -32,6 +45,16 @@ class ModuleContext:
     #: True when the file is a package ``__init__.py`` (relative-import
     #: resolution differs: level 1 names the package itself).
     is_package: bool = False
+    #: pass-1 whole-program summary (effect fixpoint + declaration
+    #: tables) the transitive rules resolve this module against; the
+    #: engine always supplies one (a single-module summary when linting
+    #: an isolated source blob).
+    project: Optional["ProjectSummary"] = None
+    #: per-module resolved-call-site cache shared by the transitive
+    #: rules (built lazily by the first one that needs it).
+    resolver: Optional["ModuleResolver"] = field(
+        default=None, repr=False, compare=False
+    )
 
 
 class Rule:
@@ -202,6 +225,8 @@ from repro.lint.rules import imports as _imports  # noqa: E402,F401
 from repro.lint.rules import determinism as _determinism  # noqa: E402,F401
 from repro.lint.rules import dtype as _dtype  # noqa: E402,F401
 from repro.lint.rules import device as _device  # noqa: E402,F401
+from repro.lint.rules import transitive as _transitive  # noqa: E402,F401
+from repro.lint.rules import asyncatomic as _asyncatomic  # noqa: E402,F401
 
 __all__ = [
     "ModuleContext",

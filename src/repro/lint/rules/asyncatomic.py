@@ -1,0 +1,59 @@
+"""RL013 — no await-straddling state mutation in the service layer."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint import config
+from repro.lint.asynccfg import analyze_async_def
+from repro.lint.findings import Finding
+from repro.lint.rules import ModuleContext, Rule, register
+
+
+@register
+class AwaitStraddlingMutation(Rule):
+    """RL013 — validate-and-mutate must happen in one atomic region.
+
+    In :mod:`repro.service` every per-device structure (the
+    ``AdmissionState``, batcher pending lists, registries) is shared by
+    all coroutines on the event loop.  Code that reads such state,
+    awaits, and then mutates it is acting on a value that may have
+    changed while suspended — the check-then-act race the engine's
+    ordered-confirmation/rollback design defends against at runtime.
+    This rule enforces it statically via the
+    :mod:`repro.lint.asynccfg` dataflow: re-read the state after the
+    await (re-validation), mutate before the first await (reserve,
+    then confirm), or roll back in an ``except``/``finally`` handler
+    (exempt regions).
+    """
+
+    id = "RL013"
+    name = "await-straddling-mutation"
+    summary = (
+        "async service code must not mutate self-rooted state it last "
+        "read before an await; re-validate, mutate-then-await, or roll "
+        "back in an except handler"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not config.module_matches(ctx.modname, config.ASYNC_STATE_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for hazard in analyze_async_def(node):
+                yield Finding(
+                    path=ctx.path,
+                    line=hazard.line,
+                    col=hazard.col,
+                    rule=self.id,
+                    message=(
+                        f"{hazard.path} is mutated here but was last "
+                        f"read before the await at line "
+                        f"{hazard.await_line}; the value may have "
+                        f"changed while suspended — re-read it after "
+                        f"the await, mutate before awaiting, or roll "
+                        f"back in an except handler"
+                    ),
+                )

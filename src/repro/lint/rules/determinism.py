@@ -17,12 +17,6 @@ from repro.lint.rules import (
     resolve_call_target,
 )
 
-#: Constructors that mint RNG state.  Matching is by trailing attribute
-#: so any numpy alias is caught (``np.random.default_rng``,
-#: ``numpy.random.default_rng``, a bare ``default_rng`` from-import).
-_RNG_CONSTRUCTORS = ("default_rng", "RandomState", "SeedSequence")
-
-
 @register
 class RngOutsideSamplers(Rule):
     """RL003 — RNG construction/draws only in the sampler/generation layer.
@@ -48,6 +42,8 @@ class RngOutsideSamplers(Rule):
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not config.module_matches(ctx.modname, config.SRC_NAMESPACE):
+            return  # benchmarks/examples/scripts may draw ad hoc
         if config.module_matches(ctx.modname, config.RNG_ALLOWED_MODULES):
             return
         aliases = import_aliases(ctx.tree)
@@ -79,7 +75,7 @@ class RngOutsideSamplers(Rule):
                 if target is None:
                     continue
                 tail = target.split(".")[-1]
-                if tail in _RNG_CONSTRUCTORS:
+                if tail in config.RNG_CONSTRUCTORS:
                     yield self.finding(
                         ctx,
                         node,
@@ -128,6 +124,8 @@ class WallClockCall(Rule):
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not config.module_matches(ctx.modname, config.SRC_NAMESPACE):
+            return  # timing belongs in benchmarks/ — outside repro.*
         if config.module_matches(ctx.modname, config.WALL_CLOCK_ALLOWED_MODULES):
             return
         banned = {f"{mod}.{attr}" for mod, attr in config.WALL_CLOCK_CALLS}

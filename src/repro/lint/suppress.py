@@ -24,7 +24,7 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.lint.findings import Finding
 
@@ -96,12 +96,21 @@ def collect_suppressions(source: str) -> List[Suppression]:
 
 
 def apply_suppressions(
-    findings: List[Finding], suppressions: List[Suppression], path: str
+    findings: List[Finding],
+    suppressions: List[Suppression],
+    path: str,
+    *,
+    checked_rules: Optional[Set[str]] = None,
+    report_unused: bool = True,
 ) -> List[Finding]:
     """Drop suppressed findings; append RL008 for unused pragma entries.
 
     Returns the reportable findings (sorted).  ``findings`` must all
-    belong to ``path``.
+    belong to ``path``.  A pragma whose rule was not *run* this
+    invocation (not in ``checked_rules``, e.g. deselected via
+    ``--select``) cannot be proven unused and is never flagged; pass
+    ``report_unused=False`` to disable RL008 entirely (RL008 itself
+    deselected).
     """
     kept: List[Finding] = []
     for f in findings:
@@ -114,7 +123,11 @@ def apply_suppressions(
                 # should all count as used rather than flag each other.
         if not suppressed:
             kept.append(f)
+    if not report_unused:
+        return sorted(kept)
     for s in suppressions:
+        if checked_rules is not None and s.rule not in checked_rules:
+            continue
         if not s.used:
             scope = "file-level " if s.file_level else ""
             kept.append(

@@ -57,18 +57,27 @@ class AdmissionService:
     async def start(self) -> None:
         if self._started:
             raise RuntimeError("service already started")
-        if self.batching:
-            for batcher in self.batchers:
-                await batcher.start()
+        # Claim the flag before the first await so a concurrent start()
+        # fails fast instead of double-starting the batchers (RL013);
+        # roll back if any batcher refuses to come up.
         self._started = True
+        if self.batching:
+            try:
+                for batcher in self.batchers:
+                    await batcher.start()
+            except BaseException:
+                self._started = False
+                raise
 
     async def close(self) -> None:
         if not self._started:
             return
+        # Flip the flag before suspending so a concurrent close() is a
+        # no-op instead of double-closing the batchers (RL013).
+        self._started = False
         if self.batching:
             for batcher in self.batchers:
                 await batcher.close()
-        self._started = False
 
     # -- device registry -------------------------------------------------------
 

@@ -71,9 +71,14 @@ class HttpServer:
         (``port=0`` picks an ephemeral port)."""
         if self._server is not None:
             raise RuntimeError("server already started")
-        self._server = await asyncio.start_server(self._handle, self.host, self.port)
-        sock = self._server.sockets[0]
-        self.host, self.port = sock.getsockname()[:2]
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        if self._server is not None:
+            # A concurrent start() won the race while we were suspended.
+            server.close()
+            raise RuntimeError("server already started")
+        self._server = server
+        sock = server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]  # repro-lint: disable=RL013 -- ephemeral-port readback; the re-validation above serialized concurrent starts
         return self.host, self.port
 
     async def serve_forever(self) -> None:

@@ -1,0 +1,20 @@
+"""Seeded RL010 violation: the draw is two helpers deep.
+
+RL003 sees nothing here — ``repro.vector.newkern`` is not a strict
+kernel module, so a method-style draw on a passed-in generator is
+invisible to the per-module rule.  The whole-program effect fixpoint
+still reaches it through the helper chain.
+"""
+
+
+def _draw(rng, n):
+    return rng.uniform(size=n)
+
+
+def _indirect(rng, n):
+    return _draw(rng, n)
+
+
+def kernel_mix(xs, rng):
+    noise = _indirect(rng, len(xs))
+    return xs + noise

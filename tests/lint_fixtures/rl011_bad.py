@@ -1,0 +1,17 @@
+"""Seeded RL011 violation: the host sync hides one helper away.
+
+RL005 bans ``.tolist()`` written directly inside a sim_vec pass loop;
+here the loop body only calls ``_collect`` and the stall lives in the
+helper — invisible per-module, caught by the HOST_SYNC effect closure.
+"""
+
+
+def _collect(row):
+    return row.tolist()
+
+
+def run_passes(frames):
+    out = []
+    for frame in frames:
+        out.append(_collect(frame))
+    return out

@@ -1,0 +1,13 @@
+"""RL011-clean twin: the materialising helper runs once at the batch
+boundary, outside every pass loop."""
+
+
+def _collect(rows):
+    return rows.tolist()
+
+
+def run_passes(frames, xp):
+    acc = frames
+    for _ in range(3):
+        acc = xp.step(acc)
+    return _collect(acc)

@@ -1,0 +1,10 @@
+"""RL012-clean twin: timestamps arrive as data (minted by
+repro.service.clock or the caller), never read in the analysis tree."""
+
+
+def elapsed(start, now):
+    return now - start
+
+
+def span(events):
+    return max(events) - min(events)

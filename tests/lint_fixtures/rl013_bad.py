@@ -1,0 +1,21 @@
+"""Seeded RL013 violations: check-then-act straddling an await."""
+
+import asyncio
+
+
+class Engine:
+    def __init__(self):
+        self.resident = set()
+        self.version = 0
+
+    async def admit(self, task, cost):
+        if task in self.resident:
+            return False
+        await asyncio.sleep(cost)
+        self.resident.add(task)
+        return True
+
+    async def bump(self, fresh):
+        v = self.version
+        await asyncio.sleep(0)
+        self.version = v + fresh

@@ -1,0 +1,28 @@
+"""RL013-clean twins: re-validate after the await, or reserve before
+it and roll back in an except handler."""
+
+import asyncio
+
+
+class Engine:
+    def __init__(self):
+        self.resident = set()
+        self.version = 0
+
+    async def admit(self, task, cost):
+        if task in self.resident:
+            return False
+        await asyncio.sleep(cost)
+        if task in self.resident:
+            return False
+        self.resident.add(task)
+        return True
+
+    async def reserve(self, task, cost):
+        self.resident.add(task)
+        try:
+            await asyncio.sleep(cost)
+        except BaseException:
+            self.resident.discard(task)
+            raise
+        return True

@@ -3,6 +3,7 @@ pragmas, unused-suppression detection, JSON round-trip, CLI exit codes,
 and the repo-wide gate (``src`` lints clean — the same invariant CI
 enforces)."""
 
+import ast
 import json
 import subprocess
 import sys
@@ -12,7 +13,13 @@ import pytest
 
 from repro.lint import lint_paths, lint_source
 from repro.lint.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
-from repro.lint.engine import PARSE_ERROR_ID, module_name_for
+from repro.lint.effects import build_project, effects_report
+from repro.lint.engine import (
+    PARSE_ERROR_ID,
+    build_project_for,
+    module_name_for,
+    resolve_lint_jobs,
+)
 from repro.lint.reporters import render_json, result_from_json, text_report
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -43,6 +50,10 @@ BAD_CASES = [
     ("rl006_service_bad.py", "repro.service.batcher", "RL006", [10, 11]),
     ("rl007_bad.py", "repro.core.newtest", "RL007", [4]),
     ("rl007_service_bad.py", "repro.incremental.newmod", "RL007", [5]),
+    ("rl010_bad.py", "repro.vector.newkern", "RL010", [15, 19]),
+    ("rl011_bad.py", "repro.vector.sim_vec", "RL011", [16]),
+    ("rl012_bad.py", "repro.core.newtest", "RL012", [16]),
+    ("rl013_bad.py", "repro.service.newengine", "RL013", [15, 21]),
 ]
 
 GOOD_CASES = [
@@ -56,6 +67,10 @@ GOOD_CASES = [
     ("rl006_service_good.py", "repro.service.clock"),
     ("rl007_good.py", "repro.core.newtest"),
     ("rl007_service_good.py", "repro.service.engine"),
+    ("rl010_good.py", "repro.vector.newkern"),
+    ("rl011_good.py", "repro.vector.sim_vec"),
+    ("rl012_good.py", "repro.core.newtest"),
+    ("rl013_good.py", "repro.service.newengine"),
 ]
 
 
@@ -122,6 +137,86 @@ def test_rl007_relative_imports_resolve():
     assert not lint_source(
         "from . import offsets\n", "repro.sim", is_package=True
     ).findings
+
+
+# -- transitive rules & effect fixpoint -------------------------------------
+
+_TRANSITIVE_BAD = [
+    ("rl010_bad.py", "repro.vector.newkern"),
+    ("rl011_bad.py", "repro.vector.sim_vec"),
+    ("rl012_bad.py", "repro.core.newtest"),
+    ("rl013_bad.py", "repro.service.newengine"),
+]
+
+
+def test_transitive_rules_close_per_module_holes():
+    # Each seeded violation is invisible to the per-module rule it
+    # transitively closes — that's the hole RL010/011/012 exist for.
+    clean = lint_fixture("rl010_bad.py", "repro.vector.newkern", select=["RL003"])
+    assert clean.clean, text_report(clean)
+    clean = lint_fixture("rl011_bad.py", "repro.vector.sim_vec", select=["RL005"])
+    assert clean.clean, text_report(clean)
+    clean = lint_fixture("rl012_bad.py", "repro.core.newtest", select=["RL006"])
+    assert clean.clean, text_report(clean)
+
+
+def test_transitive_findings_carry_witness_chains():
+    result = lint_fixture("rl010_bad.py", "repro.vector.newkern")
+    outer = next(f for f in result.findings if f.line == 19)
+    assert "_indirect" in outer.message and "_draw" in outer.message
+    result = lint_fixture("rl011_bad.py", "repro.vector.sim_vec")
+    assert "_collect" in result.findings[0].message
+    result = lint_fixture("rl012_bad.py", "repro.core.newtest")
+    assert "_stamp" in result.findings[0].message
+
+
+def test_rl013_names_the_straddled_await():
+    result = lint_fixture("rl013_bad.py", "repro.service.newengine")
+    by_line = {f.line: f.message for f in result.findings}
+    assert "self.resident" in by_line[15] and "await at line 14" in by_line[15]
+    assert "self.version" in by_line[21] and "await at line 20" in by_line[21]
+
+
+def _fixture_modules():
+    out = []
+    for name, modname in _TRANSITIVE_BAD:
+        src = (FIXTURES / name).read_text(encoding="utf-8")
+        out.append((modname, ast.parse(src), False))
+    return out
+
+
+def test_fixpoint_is_order_independent():
+    modules = _fixture_modules()
+    orders = [modules, list(reversed(modules)), modules[2:] + modules[:2]]
+    summaries = [build_project(order) for order in orders]
+    for s in summaries[1:]:
+        assert s.functions == summaries[0].functions
+        assert s.calls == summaries[0].calls
+        assert effects_report(s) == effects_report(summaries[0])
+    # Findings under the shared summary are identical for every order.
+    per_order = [
+        [
+            lint_fixture(name, modname, project=s).findings
+            for name, modname in _TRANSITIVE_BAD
+        ]
+        for s in summaries
+    ]
+    assert per_order[0] == per_order[1] == per_order[2]
+
+
+def test_effects_report_matches_checked_in_baseline():
+    summary, _ = build_project_for([str(REPO_ROOT / "src")])
+    report = effects_report(summary)
+    again, _ = build_project_for([str(REPO_ROOT / "src")])
+    assert report == effects_report(again)  # byte-stable across runs
+    baseline = (REPO_ROOT / "tests" / "lint_effects_baseline.json").read_text(
+        encoding="utf-8"
+    )
+    assert report == baseline, (
+        "effect summary drifted from tests/lint_effects_baseline.json; "
+        "if intentional, regenerate it: PYTHONPATH=src python -m "
+        "repro.lint --effects src --output tests/lint_effects_baseline.json"
+    )
 
 
 # -- suppression pragmas ----------------------------------------------------
@@ -211,11 +306,60 @@ def test_select_and_ignore():
     assert result.clean
     with pytest.raises(ValueError, match="unknown rule"):
         lint_fixture("rl003_bad.py", "repro.vector.dp_vec", select=["RL999"])
+    # --ignore validates too: a typo must not silently no-op (it used
+    # to be subtracted without a registry check).
+    with pytest.raises(ValueError, match="RL999"):
+        lint_fixture("rl003_bad.py", "repro.vector.dp_vec", ignore=["RL999"])
+
+
+def test_deselected_rules_pragmas_are_not_flagged_unused():
+    # suppressed.py carries RL001/RL004 pragmas.  With those rules not
+    # run, their pragmas cannot be proven unused — RL008 (active here)
+    # must stay quiet rather than flag every deselected-rule pragma.
+    result = lint_fixture(
+        "suppressed.py", "repro.vector.kern", select=["RL006", "RL008"]
+    )
+    assert result.clean, text_report(result)
+
+
+def test_parallel_jobs_matches_serial(tmp_path):
+    src = _seed_tree(
+        tmp_path,
+        "import torch\n\n\ndef f():\n    import numpy\n    return numpy\n",
+    )
+    (tmp_path / "src" / "repro" / "vector" / "extra.py").write_text(
+        "import time\n\n\ndef g():\n    return time.monotonic()\n"
+    )
+    serial = lint_paths([str(src)])
+    for jobs in (2, 3):
+        par = lint_paths([str(src)], jobs=jobs)
+        assert par.findings == serial.findings
+        assert par.files_checked == serial.files_checked
+    assert not serial.clean  # the comparison is over real findings
+
+
+def test_resolve_lint_jobs_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_LINT_JOBS", raising=False)
+    assert resolve_lint_jobs() == 1
+    monkeypatch.setenv("REPRO_LINT_JOBS", "3")
+    assert resolve_lint_jobs() == 3
+    assert resolve_lint_jobs(1) == 1  # explicit kwarg beats the env
+    monkeypatch.setenv("REPRO_LINT_JOBS", "many")
+    with pytest.raises(ValueError, match="REPRO_LINT_JOBS"):
+        resolve_lint_jobs()
+    with pytest.raises(ValueError, match=">= 1"):
+        resolve_lint_jobs(0)
 
 
 def test_repo_src_is_lint_clean():
-    # The CI gate as a tier-1 invariant: the tree must stay clean.
-    result = lint_paths([str(REPO_ROOT / "src")])
+    # The CI gate as a tier-1 invariant: the whole tree — library plus
+    # benchmarks/examples/scripts — must stay clean.
+    result = lint_paths(
+        [
+            str(REPO_ROOT / p)
+            for p in ("src", "benchmarks", "examples", "scripts")
+        ]
+    )
     assert result.clean, text_report(result)
     assert result.files_checked > 100
 
@@ -273,10 +417,30 @@ def test_cli_list_rules_and_errors(tmp_path, capsys):
     assert main(["--list-rules"]) == EXIT_CLEAN
     out = capsys.readouterr().out
     for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
-                    "RL007", "RL008", "RL009"):
+                    "RL007", "RL008", "RL009", "RL010", "RL011", "RL012",
+                    "RL013"):
         assert rule_id in out
     assert main([str(tmp_path / "missing_dir_or_file")]) == EXIT_ERROR
     assert main(["--select", "RL999", str(tmp_path)]) == EXIT_ERROR
+    capsys.readouterr()  # drain before asserting on the next error
+    assert main(["--ignore", "RL999", str(tmp_path)]) == EXIT_ERROR
+    assert "RL999" in capsys.readouterr().err
+    assert main([str(tmp_path), "--jobs", "0"]) == EXIT_ERROR
+
+
+def test_cli_effects_report(tmp_path, capsys):
+    src = _seed_tree(
+        tmp_path,
+        "import time\n\n\ndef stamp():\n"
+        "    return time.monotonic()"
+        "  # repro-lint: disable=RL006 -- seeded\n",
+    )
+    out_file = tmp_path / "effects.json"
+    assert main(["--effects", str(src), "--output", str(out_file)]) == EXIT_CLEAN
+    obj = json.loads(capsys.readouterr().out)
+    assert obj["version"] == 1
+    assert obj["functions"]["repro.vector.kern.stamp"] == ["WALL_CLOCK"]
+    assert json.loads(out_file.read_text()) == obj
 
 
 def test_python_dash_m_entry_point(tmp_path):

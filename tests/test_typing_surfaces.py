@@ -1,5 +1,6 @@
-"""The mypy strict legs (mypy.ini) hold ``repro.vector.xp`` and
-``repro.incremental`` to disallow_untyped_defs/disallow_incomplete_defs.
+"""The mypy strict legs (mypy.ini) hold ``repro.vector.xp``,
+``repro.incremental``, ``repro.lint``, and ``repro.service`` to
+disallow_untyped_defs/disallow_incomplete_defs.
 mypy itself runs in CI (it is not installed in every dev container), so
 this tier-1 test pins the property those flags check — every def on the
 strict surfaces fully annotated — keeping the gate honest locally."""
@@ -14,6 +15,8 @@ SRC = Path(__file__).resolve().parents[1] / "src"
 STRICT_FILES = sorted(
     [SRC / "repro" / "vector" / "xp.py"]
     + list((SRC / "repro" / "incremental").glob("*.py"))
+    + list((SRC / "repro" / "lint").rglob("*.py"))
+    + list((SRC / "repro" / "service").glob("*.py"))
 )
 
 
@@ -47,7 +50,8 @@ def test_strict_surface_is_fully_annotated(path):
 
 
 def test_strict_file_list_is_current():
-    # mypy.ini's CI invocation names xp.py and the incremental package;
-    # if the package grows a module this picks it up automatically, and
-    # this assertion documents the floor.
-    assert len(STRICT_FILES) >= 5
+    # mypy.ini's CI invocation names xp.py, the incremental package, the
+    # lint package (rules/ included), and the service package; if any of
+    # them grows a module this picks it up automatically, and this
+    # assertion documents the floor.
+    assert len(STRICT_FILES) >= 25
